@@ -1,0 +1,128 @@
+package repro
+
+// One benchmark per experiment in DESIGN.md's index. Each iteration
+// regenerates the corresponding table/figure at reduced (but still
+// meaningful) parameters; cmd/experiments runs the full-size versions.
+
+import (
+	"io"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/gates"
+)
+
+func BenchmarkE1_Table1_DeviceCharacteristics(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E1Table1(1000, int64(i)+1)
+		tab.Print(io.Discard)
+	}
+}
+
+func BenchmarkE2_GateComplexity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E2Complexity(8)
+		tab.Print(io.Discard)
+		// Ablation: the per-design breakdowns.
+		_ = gates.TDMATimingRecovery(6).Report()
+		_ = gates.CDMADemodulator(4).Report()
+	}
+}
+
+func BenchmarkE3_WaveformMigration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E3Migration([]float64{4, 6}, 2000, int64(i)+1)
+		res.Table.Print(io.Discard)
+	}
+}
+
+func BenchmarkE3_CDMABERPoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.CDMABERPoint(6, 2000, int64(i)+1)
+	}
+}
+
+func BenchmarkE3_TDMABERPoint(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.TDMABERPoint(6, 2000, int64(i)+1)
+	}
+}
+
+func BenchmarkE4_ReconfigurationTimeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E4Timeline(int64(i) + 1)
+		res.Table.Print(io.Discard)
+	}
+}
+
+func BenchmarkE5_TransferProtocols(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E5Protocols([]int{16 * 1024}, int64(i)+1)
+		tab.Print(io.Discard)
+	}
+}
+
+func BenchmarkE6_SEUMitigation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E6Mitigation(200_000, 0.01, 60, int64(i)+1)
+		res.Table.Print(io.Discard)
+	}
+}
+
+func BenchmarkE6_ScrubbingSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E6ScrubbingSweep(60, []int{0, 4, 1}, int64(i)+1)
+		tab.Print(io.Discard)
+	}
+}
+
+func BenchmarkE7_PayloadPartitioning(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E7Partitioning(int64(i) + 1)
+		res.Table.Print(io.Discard)
+	}
+}
+
+func BenchmarkE8_DecoderReconfiguration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E8Decoders([]float64{3}, 3000, int64(i)+1)
+		res.Table.Print(io.Discard)
+	}
+}
+
+func BenchmarkE9_PowerAnalysis(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E9Power()
+		tab.Print(io.Discard)
+	}
+}
+
+func BenchmarkE6c_PayloadAvailability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.E6PayloadAvailabilityComparison(30, int64(i)+1)
+		tab.Print(io.Discard)
+	}
+}
+
+// Ablation benches for the design choices called out in DESIGN.md §5.
+
+func BenchmarkAblation_TimingRecovery(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.AblationTiming([]int{64, 512}, 6, 10, int64(i)+1)
+		tab.Print(io.Discard)
+	}
+}
+
+func BenchmarkAblation_Scrubbers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.AblationScrubbers(40, int64(i)+1)
+		tab.Print(io.Discard)
+	}
+}
+
+func BenchmarkAblation_TCModes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		tab := experiments.AblationTCModes(int64(i) + 1)
+		tab.Print(io.Discard)
+	}
+}

@@ -1,0 +1,87 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (DESIGN.md §4) and prints them in paper-shaped form. The
+// output of a full run is recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-quick] [-only E3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/gates"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sample sizes (~10s total)")
+	only := flag.String("only", "", "run a single experiment (E1..E8)")
+	flag.Parse()
+
+	run := func(id string) bool {
+		return *only == "" || strings.EqualFold(*only, id)
+	}
+	out := os.Stdout
+
+	// Sample sizes.
+	deviceDays := 20000.0
+	berBits := 60000
+	e6Trials := 5_000_000
+	campaign := 250
+	if *quick {
+		deviceDays, berBits, e6Trials, campaign = 2000, 6000, 500_000, 80
+	}
+
+	if run("E1") {
+		experiments.E1Table1(deviceDays, 1).Print(out)
+	}
+	if run("E2") {
+		experiments.E2Complexity(8).Print(out)
+		fmt.Fprintln(out, gates.TDMATimingRecovery(6).Report())
+		fmt.Fprintln(out, gates.CDMADemodulator(1).Report())
+	}
+	if run("E3") {
+		res := experiments.E3Migration([]float64{2, 4, 6, 8}, berBits, 42)
+		res.Table.Print(out)
+		fmt.Fprintf(out, "   max implementation loss vs theory: %.2f dB\n\n", res.MaxDegradationdB)
+	}
+	if run("E4") {
+		experiments.E4Timeline(3).Table.Print(out)
+	}
+	if run("E5") {
+		sizes := []int{4 * 1024, 64 * 1024, 512 * 1024}
+		if *quick {
+			sizes = []int{4 * 1024, 64 * 1024}
+		}
+		experiments.E5Protocols(sizes, 4).Print(out)
+	}
+	if run("E6") {
+		experiments.E6Mitigation(e6Trials, 0.01, campaign, 5).Table.Print(out)
+		experiments.E6ScrubbingSweep(campaign, []int{0, 8, 4, 2, 1}, 6).Print(out)
+	}
+	if run("E7") {
+		experiments.E7Partitioning(7).Table.Print(out)
+	}
+	if run("E8") {
+		pts := []float64{1, 2, 3, 4}
+		res := experiments.E8Decoders(pts, berBits, 8)
+		res.Table.Print(out)
+	}
+	if run("E9") {
+		experiments.E9Power().Print(out)
+		experiments.E6PayloadAvailabilityComparison(campaign, 9).Print(out)
+	}
+	if run("ablations") {
+		bursts := 40
+		if *quick {
+			bursts = 10
+		}
+		experiments.AblationTiming([]int{64, 256, 1024}, bursts, 10, 3).Print(out)
+		experiments.AblationScrubbers(campaign, 4).Print(out)
+		experiments.AblationTCModes(5).Print(out)
+	}
+}

@@ -1,0 +1,76 @@
+// Command nccctl drives a ground-initiated reconfiguration end to end:
+// it assembles the full system (GEO link, protocol stack, on-board
+// controller, payload), uploads a waveform or decoder bitstream with the
+// selected protocol, pushes the COPS policy, and prints the resulting
+// timeline and telemetry — the paper's §3 scenario from the operator's
+// seat.
+//
+// Usage:
+//
+//	nccctl -action waveform -target tdma -proto scps-fp -window 32
+//	nccctl -action decoder -target turbo-r1/3 -proto tftp
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/ncc"
+	"repro/internal/payload"
+)
+
+func main() {
+	action := flag.String("action", "waveform", "waveform or decoder")
+	target := flag.String("target", "tdma", "waveform (cdma|tdma) or codec name")
+	protoName := flag.String("proto", "scps-fp", "upload protocol: tftp or scps-fp")
+	window := flag.Int("window", 16, "TCP window for scps-fp (RFC 2488 knob)")
+	ber := flag.Float64("ber", 0, "space link bit error rate")
+	ipsec := flag.Bool("ipsec", false, "enable the IPsec (ESP) layer")
+	flag.Parse()
+
+	proto := ncc.ProtoSCPSFP
+	if *protoName == "tftp" {
+		proto = ncc.ProtoTFTP
+	}
+
+	cfg := core.DefaultSystemConfig()
+	cfg.BER = *ber
+	cfg.IPsec = *ipsec
+	sys, err := core.NewSystem(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.RunUntil(2) // COPS session establishment
+
+	var reports []core.ReconfigReport
+	switch *action {
+	case "waveform":
+		mode := payload.ModeTDMA
+		if *target == "cdma" {
+			mode = payload.ModeCDMA
+		}
+		reports = sys.MigrateWaveform(mode, proto, *window)
+	case "decoder":
+		reports = sys.SwapDecoder(*target, proto, *window)
+	default:
+		log.Fatalf("unknown action %q", *action)
+	}
+
+	fmt.Println("reconfiguration reports:")
+	for _, r := range reports {
+		fmt.Println("  " + r.String())
+	}
+	fmt.Println("telemetry:")
+	for _, l := range sys.Telemetry {
+		fmt.Println("  TM " + l)
+	}
+	if *action == "waveform" {
+		fmt.Printf("payload waveform now: %s\n", sys.Payload.Mode())
+	} else {
+		if c, err := sys.Payload.Codec(); err == nil {
+			fmt.Printf("payload decoder now: %s\n", c.Name())
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Command payloadsim runs uplink traffic through the regenerative payload
+// (Fig 2): modulate user data in the selected waveform, pass it through
+// an AWGN channel, and let the payload demodulate, decode and switch it,
+// printing the resulting error rates and switch statistics.
+//
+// Usage:
+//
+//	payloadsim -waveform tdma -codec conv-r1/2-k9 -ebn0 4 -packets 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+
+	"repro/internal/cdma"
+	"repro/internal/dsp"
+	"repro/internal/fec"
+	"repro/internal/modem"
+	"repro/internal/payload"
+)
+
+func main() {
+	waveform := flag.String("waveform", "tdma", "uplink waveform: cdma or tdma")
+	codec := flag.String("codec", "uncoded", "decoder: uncoded, conv-r1/2-k9, conv-r1/3-k9, turbo-r1/3")
+	ebn0 := flag.Float64("ebn0", 6, "channel Eb/N0 in dB")
+	packets := flag.Int("packets", 20, "packets to send")
+	strategy := flag.String("partitioning", "per-equipment", "single-chip, per-equipment or per-function")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	cfg := payload.DefaultConfig()
+	switch *strategy {
+	case "single-chip":
+		cfg.Strategy = payload.SingleChip
+	case "per-equipment":
+		cfg.Strategy = payload.PerEquipment
+	case "per-function":
+		cfg.Strategy = payload.PerFunction
+	default:
+		log.Fatalf("unknown partitioning %q", *strategy)
+	}
+
+	pl, err := payload.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mode := payload.ModeTDMA
+	if *waveform == "cdma" {
+		mode = payload.ModeCDMA
+	}
+	if err := pl.SetWaveform(mode); err != nil {
+		log.Fatal(err)
+	}
+	if err := pl.SetCodec(*codec); err != nil {
+		log.Fatal(err)
+	}
+	c, err := pl.Codec()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("payload: %s partitioning, waveform=%s codec=%s Eb/N0=%.1f dB\n",
+		cfg.Strategy, pl.Mode(), c.Name(), *ebn0)
+
+	rng := rand.New(rand.NewSource(*seed))
+	totalBits, errBits, lost := 0, 0, 0
+	for p := 0; p < *packets; p++ {
+		var rx dsp.Vec
+		var info []byte
+		if mode == payload.ModeCDMA {
+			// Size the info so the coded stream fills whole symbols.
+			info = randBits(rng, 128)
+			coded := c.Encode(info)
+			if len(coded)%2 != 0 {
+				coded = append(coded, 0)
+			}
+			mod := cdma.NewModulator(cfg.CDMA)
+			rx = mod.Modulate(coded)
+			ebn0lin := math.Pow(10, *ebn0/10) * c.Rate()
+			n0 := float64(cfg.CDMA.SF) / (2 * ebn0lin)
+			ch := dsp.NewChannel(*seed + int64(p))
+			ch.AWGN(rx, n0)
+		} else {
+			f := pl.BurstFormat()
+			k := infoBitsFor(c, f.PayloadBits())
+			info = randBits(rng, k)
+			coded := c.Encode(info)
+			padded := make([]byte, f.PayloadBits())
+			copy(padded, coded)
+			mod := modem.NewBurstModulator(f, 0.35, 4, 10)
+			rx = dsp.NewChannelWith(*seed+int64(p), *ebn0+10*math.Log10(2*c.Rate()), 4).Apply(mod.Modulate(padded))
+		}
+		soft, err := pl.DemodulateCarrier(p%cfg.Carriers, rx)
+		if err != nil {
+			lost++
+			continue
+		}
+		need := c.EncodedLen(len(info))
+		if len(soft) < need {
+			lost++
+			continue
+		}
+		dec, err := pl.Decode(soft[:need])
+		if err != nil {
+			lost++
+			continue
+		}
+		errBits += fec.CountBitErrors(info, dec[:len(info)])
+		totalBits += len(info)
+		pl.Switch().Route(p%4, fec.PackBits(dec[:len(info)]))
+	}
+
+	fmt.Printf("packets: %d sent, %d lost\n", *packets, lost)
+	if totalBits > 0 {
+		fmt.Printf("BER: %d/%d = %.3e\n", errBits, totalBits, float64(errBits)/float64(totalBits))
+	}
+	fmt.Printf("switch: %d packets routed across beams %v\n", pl.Switch().Routed, pl.Switch().Beams())
+}
+
+func infoBitsFor(c fec.Codec, budget int) int {
+	// Largest k with EncodedLen(k) <= budget, rounded to a byte-ish size.
+	k := 16
+	for c.EncodedLen(k+8) <= budget {
+		k += 8
+	}
+	return k
+}
+
+func randBits(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(2))
+	}
+	return b
+}

@@ -1,0 +1,13 @@
+// Package repro reproduces "Towards Generic Satellite Payloads: Software
+// Radio" (Morlet, Boucheret, Calmettes, Paillassa, Perennou; IPPS/IPDPS
+// Workshops 2003) as a runnable Go system: a regenerative MF-TDMA
+// satellite payload whose digital functions (DEMUX, DEMOD, DECOD,
+// switching) live on simulated SRAM FPGAs and are reconfigured in flight
+// from a ground network control center over a TC/TM + IP + TFTP/SCPS-FP/
+// COPS protocol stack, under a radiation environment with SEU mitigation.
+//
+// See DESIGN.md for the system inventory and the per-experiment index,
+// and EXPERIMENTS.md for paper-vs-measured results. The root-level
+// benchmarks (bench_test.go) regenerate every table and figure; the same
+// code is runnable via cmd/experiments.
+package repro

@@ -1,0 +1,73 @@
+// Waveform migration (Fig 3): the return link starts as S-UMTS CDMA
+// (2.048 Mcps, ~256 kbps); traffic demand grows, so the NCC uploads a
+// TDMA demodulator (2 Mbps) and reconfigures the payload in flight. The
+// example runs user traffic before, during and after the migration,
+// showing the service interruption and the rate gain.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/cdma"
+	"repro/internal/core"
+	"repro/internal/dsp"
+	"repro/internal/modem"
+	"repro/internal/ncc"
+	"repro/internal/payload"
+)
+
+func main() {
+	sys, err := core.NewSystem(core.DefaultSystemConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys.RunUntil(2)
+	if err := sys.Payload.SetWaveform(payload.ModeCDMA); err != nil {
+		log.Fatal(err)
+	}
+	sys.Payload.SetCodec("uncoded")
+
+	cfg := sys.Payload.Config()
+	fmt.Printf("phase 1 — CDMA return link at %.0f kbps (chip rate %.3f Mcps)\n",
+		cfg.CDMA.BitRate()/1000, float64(cdma.ChipRateSUMTS)/1e6)
+
+	// CDMA traffic.
+	rng := rand.New(rand.NewSource(3))
+	bits := make([]byte, 256)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	rx := cdma.NewModulator(cfg.CDMA).Modulate(bits)
+	ch := dsp.NewChannel(4)
+	ch.AWGN(rx, 0.2)
+	if _, err := sys.Payload.DemodulateCarrier(0, rx); err != nil {
+		log.Fatalf("CDMA traffic failed: %v", err)
+	}
+	fmt.Println("  CDMA burst demodulated OK")
+
+	// Ground-initiated migration.
+	fmt.Println("phase 2 — NCC migrates the waveform (upload + COPS policy + 5-step reload)")
+	reports := sys.MigrateWaveform(payload.ModeTDMA, ncc.ProtoSCPSFP, 32)
+	for _, r := range reports {
+		fmt.Println("  " + r.String())
+	}
+
+	// During the reload the demod service was down; now TDMA runs.
+	fmt.Printf("phase 3 — TDMA link at %.0f kbps (the 2 Mbps goal)\n",
+		float64(modem.BitRateTDMA)/1000)
+	f := sys.Payload.BurstFormat()
+	burst := make([]byte, f.PayloadBits())
+	for i := range burst {
+		burst[i] = byte(rng.Intn(2))
+	}
+	tx := modem.NewBurstModulator(f, 0.35, 4, 10).Modulate(burst)
+	rx2 := dsp.NewChannelWith(5, 12, 4).Apply(tx)
+	if _, err := sys.Payload.DemodulateCarrier(0, rx2); err != nil {
+		log.Fatalf("TDMA traffic failed: %v", err)
+	}
+	fmt.Println("  TDMA burst demodulated OK")
+	fmt.Printf("throughput gain: %.1fx; same hardware profile (~200k gates each, sec 2.3)\n",
+		float64(modem.BitRateTDMA)/cfg.CDMA.BitRate())
+}

@@ -1,0 +1,409 @@
+package cdma
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dsp"
+)
+
+func TestOVSFOrthogonality(t *testing.T) {
+	for _, sf := range []int{2, 4, 16, 64} {
+		for a := 0; a < sf; a++ {
+			for b := 0; b < sf; b++ {
+				var acc int
+				ca, cb := OVSF(sf, a), OVSF(sf, b)
+				for i := 0; i < sf; i++ {
+					acc += int(ca[i]) * int(cb[i])
+				}
+				if a == b && acc != sf {
+					t.Fatalf("sf=%d code %d autocorrelation %d", sf, a, acc)
+				}
+				if a != b && acc != 0 {
+					t.Fatalf("sf=%d codes %d,%d not orthogonal: %d", sf, a, b, acc)
+				}
+			}
+		}
+	}
+}
+
+func TestOVSFChipValues(t *testing.T) {
+	for _, c := range OVSF(8, 3) {
+		if c != 1 && c != -1 {
+			t.Fatalf("chip value %d", c)
+		}
+	}
+	if OVSF(1, 0)[0] != 1 {
+		t.Fatal("root code")
+	}
+}
+
+func TestOVSFPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { OVSF(3, 0) },
+		func() { OVSF(4, 4) },
+		func() { OVSF(4, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestGoldSequenceBalanceAndPeriod(t *testing.T) {
+	seq := GoldSequence(100)
+	if len(seq) != GoldLength {
+		t.Fatalf("length %d", len(seq))
+	}
+	sum := 0
+	for _, c := range seq {
+		if c != 1 && c != -1 {
+			t.Fatalf("chip %d", c)
+		}
+		sum += int(c)
+	}
+	// Gold sequences are nearly balanced.
+	if sum < -65 || sum > 65 {
+		t.Fatalf("imbalance %d", sum)
+	}
+}
+
+func TestGoldAutocorrelationPeak(t *testing.T) {
+	seq := GoldSequence(37)
+	if got := Correlate(seq, seq, 0); got != 1 {
+		t.Fatalf("zero-lag autocorrelation %g", got)
+	}
+	for _, lag := range []int{1, 13, 200, 511} {
+		if v := math.Abs(Correlate(seq, seq, lag)); v > 0.2 {
+			t.Fatalf("lag %d sidelobe %g", lag, v)
+		}
+	}
+}
+
+func TestGoldCrossCorrelationBounded(t *testing.T) {
+	a, b := GoldSequence(3), GoldSequence(700)
+	for _, lag := range []int{0, 1, 50, 512} {
+		if v := math.Abs(Correlate(a, b, lag)); v > 0.2 {
+			t.Fatalf("cross-correlation at lag %d: %g", lag, v)
+		}
+	}
+}
+
+func TestGoldDistinctIndices(t *testing.T) {
+	a, b := GoldSequence(1), GoldSequence(2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different indices must give different sequences")
+	}
+}
+
+func TestSpreadDespreadRoundTrip(t *testing.T) {
+	sp := NewSpreader(16, 5, 7)
+	de := NewDespreader(16, 5, 7)
+	syms := dsp.Vec{1 + 1i, -1 + 1i, 1 - 1i, -1 - 1i}.Scale(complex(1/math.Sqrt2, 0))
+	chips := sp.Spread(syms)
+	if len(chips) != 4*16 {
+		t.Fatalf("chip count %d", len(chips))
+	}
+	got := de.Despread(chips)
+	for i := range syms {
+		if d := got[i] - syms[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-20 {
+			t.Fatalf("symbol %d: %v want %v", i, got[i], syms[i])
+		}
+	}
+}
+
+func TestDespreadRejectsOtherChannel(t *testing.T) {
+	// A user on a different OVSF code must despread to ~0 (orthogonal).
+	spOther := NewSpreader(16, 3, 7)
+	de := NewDespreader(16, 5, 7)
+	syms := dsp.Vec{1, 1, 1, 1}
+	got := de.Despread(spOther.Spread(syms))
+	for i, s := range got {
+		if real(s)*real(s)+imag(s)*imag(s) > 1e-20 {
+			t.Fatalf("leakage at %d: %v", i, s)
+		}
+	}
+}
+
+func TestDespreadChipPhase(t *testing.T) {
+	sp := NewSpreader(8, 2, 11)
+	de := NewDespreader(8, 2, 11)
+	syms := dsp.Vec{1, -1, 1i, -1i}
+	chips := sp.Spread(syms)
+	// Drop the first symbol's chips; set the despreader phase accordingly.
+	de.SetChipPhase(8)
+	got := de.Despread(chips[8:])
+	for i := 1; i < len(syms); i++ {
+		if d := got[i-1] - syms[i]; real(d)*real(d)+imag(d)*imag(d) > 1e-20 {
+			t.Fatalf("offset despread symbol %d", i)
+		}
+	}
+}
+
+func TestAcquisitionFindsOffset(t *testing.T) {
+	cfg := DefaultConfig()
+	mod := NewModulator(cfg)
+	rng := rand.New(rand.NewSource(1))
+	bits := make([]byte, 64)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	tx := mod.Modulate(bits)
+	for _, trueOff := range []int{0, 7, 33, 100} {
+		rx := append(dsp.NewVec(trueOff), tx...)
+		acq := NewAcquirer(cfg.SF, cfg.CodeIndex, cfg.Scrambling, 4*cfg.SF, 0.5)
+		res := acq.Search(rx, 128)
+		if !res.Detected || res.Offset != trueOff {
+			t.Fatalf("offset %d: detected=%v got %d (metric %g)",
+				trueOff, res.Detected, res.Offset, res.Metric)
+		}
+	}
+}
+
+func TestAcquisitionRejectsNoise(t *testing.T) {
+	cfg := DefaultConfig()
+	acq := NewAcquirer(cfg.SF, cfg.CodeIndex, cfg.Scrambling, 4*cfg.SF, 0.5)
+	ch := dsp.NewChannel(2)
+	noise := dsp.NewVec(512)
+	ch.AWGN(noise, 1)
+	res := acq.Search(noise, 128)
+	if res.Detected {
+		t.Fatalf("false alarm on pure noise: metric %g", res.Metric)
+	}
+}
+
+func TestAcquisitionUnderNoise(t *testing.T) {
+	cfg := DefaultConfig()
+	mod := NewModulator(cfg)
+	rng := rand.New(rand.NewSource(3))
+	bits := make([]byte, 128)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	tx := mod.Modulate(bits)
+	rx := append(dsp.NewVec(21), tx...)
+	ch := dsp.NewChannel(4)
+	ch.AWGN(rx, 0.25) // chip SNR 6 dB
+	acq := NewAcquirer(cfg.SF, cfg.CodeIndex, cfg.Scrambling, 4*cfg.SF, 0.5)
+	res := acq.Search(rx, 64)
+	if !res.Detected || res.Offset != 21 {
+		t.Fatalf("noisy acquisition: detected=%v offset=%d metric=%g",
+			res.Detected, res.Offset, res.Metric)
+	}
+}
+
+func TestMeanAcquisitionTimeMonotone(t *testing.T) {
+	// Longer codes and lower detection probability cost more time.
+	t1 := MeanAcquisitionTimeChips(256, 64, 0.9)
+	t2 := MeanAcquisitionTimeChips(1024, 64, 0.9)
+	t3 := MeanAcquisitionTimeChips(1024, 64, 0.5)
+	if !(t2 > t1 && t3 > t2) {
+		t.Fatalf("acquisition time ordering: %g %g %g", t1, t2, t3)
+	}
+}
+
+func TestDLLSCurve(t *testing.T) {
+	d := NewDLL(4, 0.5, 0.02)
+	if d.SCurve(0) != 0 {
+		t.Fatal("S-curve must be zero at zero offset")
+	}
+	if !(d.SCurve(0.25) > 0 && d.SCurve(-0.25) < 0) {
+		t.Fatalf("S-curve slope wrong: %g %g", d.SCurve(0.25), d.SCurve(-0.25))
+	}
+	// Odd symmetry.
+	if math.Abs(d.SCurve(0.3)+d.SCurve(-0.3)) > 1e-12 {
+		t.Fatal("S-curve not odd")
+	}
+}
+
+func TestPropertySCurveSign(t *testing.T) {
+	d := NewDLL(4, 0.5, 0.02)
+	f := func(x float64) bool {
+		tau := math.Mod(x, 0.5)
+		if math.IsNaN(tau) {
+			return true
+		}
+		s := d.SCurve(tau)
+		switch {
+		case tau > 1e-9:
+			return s > 0
+		case tau < -1e-9:
+			return s < 0
+		default:
+			return math.Abs(s) < 1e-9
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDLLConvergesToTimingOffset(t *testing.T) {
+	// Build a band-limited (RRC-shaped) chip waveform with a known
+	// fractional timing offset and verify the loop drives its phase
+	// estimate toward it. A non-constant envelope is required for the
+	// non-coherent early-late discriminant (as in the band-limited
+	// DS-SS loop of [8]).
+	spc := 4
+	sf := 16
+	sp := NewSpreader(sf, 5, 7)
+	rng := rand.New(rand.NewSource(5))
+	nsym := 300
+	syms := dsp.NewVec(nsym)
+	for i := range syms {
+		if rng.Intn(2) == 0 {
+			syms[i] = 1
+		} else {
+			syms[i] = -1
+		}
+	}
+	chips := sp.Spread(syms)
+	shaper := dsp.NewPulseShaper(0.5, spc, 6)
+	wave := shaper.Process(chips)
+	// Fractional delay of 1.5 samples on top of the shaper group delay.
+	const fracDelay = 1.5
+	delayed := append(dsp.NewVec(2), wave...) // +2 integer samples
+	ch := dsp.NewChannel(55)
+	ch.TimingOffset = fracDelay - 1 // 0.5 fractional via interpolation
+	delayed = ch.Apply(delayed)
+	// Chip c peak sits at groupDelay + 2 - 0.5 + c*spc. Slice so the
+	// residual offset is small and positive.
+	gd := int(shaper.GroupDelay())
+	rx := delayed[gd:]
+	want := 2.0 - 0.5 // residual offset ≈ 1.5 samples
+
+	// Composite code for wipe-off.
+	ovsf := OVSF(sf, 5)
+	scr := GoldSequence(7)
+	code := make([]int8, len(chips))
+	for i := range code {
+		code[i] = ovsf[i%sf] * scr[i%GoldLength]
+	}
+
+	dll := NewDLL(spc, 0.25, 0.03)
+	dll.SetPhase(0.5) // coarse seed within half a chip
+	dll.Track(rx, code)
+	if p := dll.Phase(); math.Abs(p-want) > 0.6 {
+		t.Fatalf("DLL phase %g not near expected %g", p, want)
+	}
+}
+
+func TestModemEndToEndNoiseless(t *testing.T) {
+	cfg := DefaultConfig()
+	mod := NewModulator(cfg)
+	dem := NewDemodulator(cfg)
+	rng := rand.New(rand.NewSource(6))
+	bits := make([]byte, 256)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	rx := mod.Modulate(bits)
+	soft := dem.Demodulate(rx, 0)
+	if soft == nil || !dem.Acquired() {
+		t.Fatal("acquisition failed on clean aligned signal")
+	}
+	for i, b := range bits {
+		got := byte(0)
+		if soft[i] < 0 {
+			got = 1
+		}
+		if got != b {
+			t.Fatalf("bit %d wrong", i)
+		}
+	}
+}
+
+func TestModemEndToEndWithOffsetAndNoise(t *testing.T) {
+	cfg := DefaultConfig()
+	mod := NewModulator(cfg)
+	dem := NewDemodulator(cfg)
+	rng := rand.New(rand.NewSource(7))
+	bits := make([]byte, 512)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	tx := mod.Modulate(bits)
+	rx := append(dsp.NewVec(37), tx...)
+	ch := dsp.NewChannel(8)
+	ch.AWGN(rx, 0.2)
+	soft := dem.Demodulate(rx, 64)
+	if soft == nil {
+		t.Fatal("acquisition failed")
+	}
+	if dem.LastAcquisition().Offset != 37 {
+		t.Fatalf("offset %d want 37", dem.LastAcquisition().Offset)
+	}
+	errs := 0
+	for i, b := range bits {
+		got := byte(0)
+		if soft[i] < 0 {
+			got = 1
+		}
+		if got != b {
+			errs++
+		}
+	}
+	// Despreading gain of SF=16 makes this essentially error-free.
+	if errs > 2 {
+		t.Fatalf("%d bit errors", errs)
+	}
+}
+
+func TestModemFailsGracefullyWithoutSignal(t *testing.T) {
+	cfg := DefaultConfig()
+	dem := NewDemodulator(cfg)
+	ch := dsp.NewChannel(9)
+	noise := dsp.NewVec(1024)
+	ch.AWGN(noise, 1)
+	if soft := dem.Demodulate(noise, 64); soft != nil {
+		t.Fatal("must return nil without a signal")
+	}
+	if dem.Acquired() {
+		t.Fatal("must not report acquisition")
+	}
+}
+
+func TestConfigBitRate(t *testing.T) {
+	cfg := DefaultConfig()
+	// 2.048 Mcps / 16 * 2 = 256 kbps.
+	if got := cfg.BitRate(); got != 256000 {
+		t.Fatalf("bit rate %g", got)
+	}
+}
+
+func TestQPSKMapDemapRoundTrip(t *testing.T) {
+	bits := []byte{0, 0, 0, 1, 1, 0, 1, 1}
+	soft := DemapQPSK(MapQPSK(bits), 1)
+	for i, b := range bits {
+		got := byte(0)
+		if soft[i] < 0 {
+			got = 1
+		}
+		if got != b {
+			t.Fatalf("bit %d", i)
+		}
+	}
+}
+
+func TestCorrelatePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Correlate([]int8{1}, []int8{1, 1}, 0)
+}

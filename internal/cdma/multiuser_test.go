@@ -1,0 +1,109 @@
+package cdma
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+func TestMultiUserSeparation(t *testing.T) {
+	cfg := DefaultConfig()
+	codes := []int{5, 3, 9}
+	rng := rand.New(rand.NewSource(1))
+
+	// Three users transmit simultaneously on the shared carrier.
+	bitsPerUser := make([][]byte, len(codes))
+	waves := make([]dsp.Vec, len(codes))
+	for u, k := range codes {
+		bitsPerUser[u] = make([]byte, 256)
+		for i := range bitsPerUser[u] {
+			bitsPerUser[u][i] = byte(rng.Intn(2))
+		}
+		c := cfg
+		c.CodeIndex = k
+		waves[u] = NewModulator(c).Modulate(bitsPerUser[u])
+	}
+	rx := SumWaveforms(waves...)
+	ch := dsp.NewChannel(2)
+	ch.AWGN(rx, 0.2)
+
+	dem := NewMultiUser(cfg, codes)
+	if dem.Users() != 3 {
+		t.Fatal("user count")
+	}
+	soft := dem.Demodulate(rx, 0)
+	if soft == nil || !dem.Acquired() {
+		t.Fatal("pilot acquisition failed")
+	}
+	for u := range codes {
+		errs := 0
+		for i, b := range bitsPerUser[u] {
+			got := byte(0)
+			if soft[u][i] < 0 {
+				got = 1
+			}
+			if got != b {
+				errs++
+			}
+		}
+		if errs > 2 {
+			t.Fatalf("user %d: %d bit errors despite orthogonal codes", u, errs)
+		}
+	}
+}
+
+func TestMultiUserWithOffset(t *testing.T) {
+	cfg := DefaultConfig()
+	codes := []int{5, 10}
+	rng := rand.New(rand.NewSource(3))
+	var waves []dsp.Vec
+	var bits [][]byte
+	for _, k := range codes {
+		b := make([]byte, 128)
+		for i := range b {
+			b[i] = byte(rng.Intn(2))
+		}
+		bits = append(bits, b)
+		c := cfg
+		c.CodeIndex = k
+		waves = append(waves, NewModulator(c).Modulate(b))
+	}
+	rx := append(dsp.NewVec(17), SumWaveforms(waves...)...)
+	dem := NewMultiUser(cfg, codes)
+	soft := dem.Demodulate(rx, 32)
+	if soft == nil {
+		t.Fatal("acquisition failed with offset")
+	}
+	for u := range codes {
+		for i, b := range bits[u] {
+			got := byte(0)
+			if soft[u][i] < 0 {
+				got = 1
+			}
+			if got != b {
+				t.Fatalf("user %d bit %d wrong", u, i)
+			}
+		}
+	}
+}
+
+func TestMultiUserNoSignal(t *testing.T) {
+	cfg := DefaultConfig()
+	dem := NewMultiUser(cfg, []int{5})
+	noise := dsp.NewVec(1024)
+	ch := dsp.NewChannel(4)
+	ch.AWGN(noise, 1)
+	if dem.Demodulate(noise, 32) != nil {
+		t.Fatal("must fail without a signal")
+	}
+}
+
+func TestMultiUserValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewMultiUser(DefaultConfig(), nil)
+}

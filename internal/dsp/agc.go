@@ -1,0 +1,49 @@
+package dsp
+
+import "math"
+
+// AGC is a feedback automatic gain control driving block power toward a
+// target. The payload Rx chain runs one before the demodulators so that
+// decision thresholds are amplitude-independent.
+type AGC struct {
+	target float64 // desired mean power
+	alpha  float64 // loop gain per sample, 0 < alpha < 1
+	gain   float64 // current linear amplitude gain
+}
+
+// NewAGC creates an AGC with the given target mean power and loop gain.
+func NewAGC(target, alpha float64) *AGC {
+	if target <= 0 {
+		panic("dsp: NewAGC target must be positive")
+	}
+	if alpha <= 0 || alpha >= 1 {
+		panic("dsp: NewAGC alpha must be in (0,1)")
+	}
+	return &AGC{target: target, alpha: alpha, gain: 1}
+}
+
+// Gain returns the current linear gain.
+func (a *AGC) Gain() float64 { return a.gain }
+
+// Process scales the block sample by sample, adapting the gain toward the
+// power target.
+func (a *AGC) Process(in Vec) Vec {
+	out := NewVec(len(in))
+	for i, s := range in {
+		y := s * complex(a.gain, 0)
+		out[i] = y
+		p := real(y)*real(y) + imag(y)*imag(y)
+		err := a.target - p
+		a.gain += a.alpha * err * a.gain
+		if a.gain < 1e-9 {
+			a.gain = 1e-9
+		}
+		if math.IsNaN(a.gain) || math.IsInf(a.gain, 0) {
+			a.gain = 1
+		}
+	}
+	return out
+}
+
+// Reset restores unity gain.
+func (a *AGC) Reset() { a.gain = 1 }

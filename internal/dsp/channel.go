@@ -1,0 +1,126 @@
+package dsp
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Channel models the space link impairments between user terminals and the
+// regenerative payload: AWGN, carrier phase/frequency offset, fractional
+// timing offset and gain. All experiments use it to produce realistic
+// received waveforms; it is deterministic under a fixed seed.
+type Channel struct {
+	rng *rand.Rand
+
+	// EsN0dB is the symbol-energy-to-noise-density ratio applied by
+	// AddNoise, interpreted against the measured block power and the
+	// samples-per-symbol factor.
+	EsN0dB float64
+	// SPS is the oversampling factor used to convert Es/N0 to per-sample SNR.
+	SPS int
+	// PhaseOffset (radians) and FreqOffset (cycles/sample) rotate the signal.
+	PhaseOffset float64
+	FreqOffset  float64
+	// TimingOffset is a fractional-sample delay applied via interpolation.
+	TimingOffset float64
+	// Gain scales the signal before noise.
+	Gain float64
+}
+
+// NewChannel creates a channel with the given deterministic seed and
+// unity gain, no offsets, and effectively noiseless Es/N0.
+func NewChannel(seed int64) *Channel {
+	return &Channel{
+		rng:    rand.New(rand.NewSource(seed)),
+		EsN0dB: 300, // effectively noise-free until configured
+		SPS:    1,
+		Gain:   1,
+	}
+}
+
+// NewChannelWith creates a channel preconfigured with the given Es/N0
+// (dB) and oversampling factor.
+func NewChannelWith(seed int64, esn0dB float64, sps int) *Channel {
+	c := NewChannel(seed)
+	c.EsN0dB = esn0dB
+	c.SPS = sps
+	return c
+}
+
+// Apply passes the block through the configured impairments in order:
+// gain, timing offset, phase/frequency rotation, AWGN.
+func (c *Channel) Apply(in Vec) Vec {
+	out := in.Clone()
+	if c.Gain != 1 {
+		out.Scale(complex(c.Gain, 0))
+	}
+	if c.TimingOffset != 0 {
+		out = fractionalDelay(out, c.TimingOffset)
+	}
+	if c.PhaseOffset != 0 || c.FreqOffset != 0 {
+		nco := NewNCO(c.FreqOffset, c.PhaseOffset)
+		out = nco.Mix(out)
+	}
+	c.addNoise(out)
+	return out
+}
+
+// addNoise adds complex AWGN sized for the configured Es/N0 against the
+// block's own measured power.
+func (c *Channel) addNoise(v Vec) {
+	if c.EsN0dB >= 300 {
+		return
+	}
+	p := v.Power()
+	if p == 0 {
+		p = 1
+	}
+	sps := c.SPS
+	if sps < 1 {
+		sps = 1
+	}
+	// Es = p * sps (energy per symbol across sps samples);
+	// per-sample complex noise variance N0 = Es / (Es/N0).
+	esn0 := FromDB(c.EsN0dB)
+	n0 := p * float64(sps) / esn0
+	sigma := math.Sqrt(n0 / 2)
+	for i := range v {
+		v[i] += complex(c.rng.NormFloat64()*sigma, c.rng.NormFloat64()*sigma)
+	}
+}
+
+// AWGN adds noise of the given per-sample complex variance to v in place.
+func (c *Channel) AWGN(v Vec, variance float64) {
+	sigma := math.Sqrt(variance / 2)
+	for i := range v {
+		v[i] += complex(c.rng.NormFloat64()*sigma, c.rng.NormFloat64()*sigma)
+	}
+}
+
+// fractionalDelay shifts the block by mu samples (0 <= mu < 1) using cubic
+// interpolation; the first output sample corresponds to input position mu.
+func fractionalDelay(in Vec, mu float64) Vec {
+	var f Farrow
+	out := NewVec(len(in))
+	for i := range out {
+		out[i] = f.InterpAt(in, float64(i)+mu)
+	}
+	return out
+}
+
+// EbN0ToEsN0 converts Eb/N0 (dB) to Es/N0 (dB) for bitsPerSymbol and code
+// rate r (use r=1 for uncoded).
+func EbN0ToEsN0(ebn0dB float64, bitsPerSymbol int, r float64) float64 {
+	return ebn0dB + DB(float64(bitsPerSymbol)*r)
+}
+
+// QFunc is the Gaussian tail integral Q(x), used for theoretical BER curves.
+func QFunc(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// TheoreticalBPSKBER returns the uncoded BPSK/QPSK bit error rate at the
+// given Eb/N0 in dB: Q(sqrt(2 Eb/N0)).
+func TheoreticalBPSKBER(ebn0dB float64) float64 {
+	return QFunc(math.Sqrt(2 * FromDB(ebn0dB)))
+}

@@ -1,0 +1,205 @@
+// Package dsp provides the baseband digital signal processing substrate used
+// by the software-radio payload: complex vector utilities, FIR filtering,
+// half-band decimation, root-raised-cosine pulse shaping, numerically
+// controlled oscillators, polynomial (Farrow) interpolation, automatic gain
+// control and channel impairment models.
+//
+// All processing is performed on complex128 baseband samples. RF and IF
+// stages of the payload are modelled as exact frequency translations; the
+// paper's software-radio argument concerns the digital functions only.
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Vec is a block of complex baseband samples.
+type Vec []complex128
+
+// NewVec allocates a zeroed sample block of length n.
+func NewVec(n int) Vec { return make(Vec, n) }
+
+// Clone returns a deep copy of v.
+func (v Vec) Clone() Vec {
+	out := make(Vec, len(v))
+	copy(out, v)
+	return out
+}
+
+// Scale multiplies every sample by g in place and returns v.
+func (v Vec) Scale(g complex128) Vec {
+	for i := range v {
+		v[i] *= g
+	}
+	return v
+}
+
+// Add adds w to v element-wise in place and returns v.
+// It panics if the lengths differ.
+func (v Vec) Add(w Vec) Vec {
+	if len(v) != len(w) {
+		panic("dsp: Vec.Add length mismatch")
+	}
+	for i := range v {
+		v[i] += w[i]
+	}
+	return v
+}
+
+// Energy returns the total energy sum |v[i]|^2.
+func (v Vec) Energy() float64 {
+	var e float64
+	for _, s := range v {
+		e += real(s)*real(s) + imag(s)*imag(s)
+	}
+	return e
+}
+
+// Power returns the mean power of the block, or 0 for an empty block.
+func (v Vec) Power() float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return v.Energy() / float64(len(v))
+}
+
+// MaxAbs returns the maximum sample magnitude.
+func (v Vec) MaxAbs() float64 {
+	var m float64
+	for _, s := range v {
+		if a := cmplx.Abs(s); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Conj conjugates v in place and returns v.
+func (v Vec) Conj() Vec {
+	for i := range v {
+		v[i] = cmplx.Conj(v[i])
+	}
+	return v
+}
+
+// Dot returns the correlation sum v[i] * conj(w[i]) over the shorter length.
+func Dot(v, w Vec) complex128 {
+	n := len(v)
+	if len(w) < n {
+		n = len(w)
+	}
+	var acc complex128
+	for i := 0; i < n; i++ {
+		acc += v[i] * cmplx.Conj(w[i])
+	}
+	return acc
+}
+
+// Convolve returns the full linear convolution of x and h
+// (length len(x)+len(h)-1).
+func Convolve(x, h Vec) Vec {
+	if len(x) == 0 || len(h) == 0 {
+		return Vec{}
+	}
+	out := NewVec(len(x) + len(h) - 1)
+	for i, xv := range x {
+		if xv == 0 {
+			continue
+		}
+		for j, hv := range h {
+			out[i+j] += xv * hv
+		}
+	}
+	return out
+}
+
+// Upsample inserts factor-1 zeros after every sample of x.
+func Upsample(x Vec, factor int) Vec {
+	if factor < 1 {
+		panic("dsp: Upsample factor must be >= 1")
+	}
+	out := NewVec(len(x) * factor)
+	for i, s := range x {
+		out[i*factor] = s
+	}
+	return out
+}
+
+// Downsample keeps every factor-th sample of x starting at phase.
+func Downsample(x Vec, factor, phase int) Vec {
+	if factor < 1 {
+		panic("dsp: Downsample factor must be >= 1")
+	}
+	if phase < 0 || phase >= factor {
+		panic("dsp: Downsample phase out of range")
+	}
+	n := 0
+	for i := phase; i < len(x); i += factor {
+		n++
+	}
+	out := NewVec(0)
+	for i := phase; i < len(x); i += factor {
+		out = append(out, x[i])
+	}
+	_ = n
+	return out
+}
+
+// DB converts a linear power ratio to decibels.
+func DB(lin float64) float64 { return 10 * math.Log10(lin) }
+
+// FromDB converts decibels to a linear power ratio.
+func FromDB(db float64) float64 { return math.Pow(10, db/10) }
+
+// Sinc returns sin(pi x)/(pi x) with Sinc(0) = 1.
+func Sinc(x float64) float64 {
+	if x == 0 {
+		return 1
+	}
+	px := math.Pi * x
+	return math.Sin(px) / px
+}
+
+// Hamming returns the n-point Hamming window.
+func Hamming(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		w[i] = 0.54 - 0.46*math.Cos(2*math.Pi*float64(i)/float64(n-1))
+	}
+	return w
+}
+
+// Blackman returns the n-point Blackman window.
+func Blackman(n int) []float64 {
+	w := make([]float64, n)
+	if n == 1 {
+		w[0] = 1
+		return w
+	}
+	for i := range w {
+		t := 2 * math.Pi * float64(i) / float64(n-1)
+		w[i] = 0.42 - 0.5*math.Cos(t) + 0.08*math.Cos(2*t)
+	}
+	return w
+}
+
+// FourierCoefficient returns the single complex Fourier coefficient of the
+// real series x at normalized frequency f cycles/sample:
+//
+//	sum_k x[k] * exp(-j 2 pi f k)
+//
+// It is used by the Oerder-Meyr square timing estimator, which needs only
+// the spectral line at the symbol rate rather than a full transform.
+func FourierCoefficient(x []float64, f float64) complex128 {
+	var acc complex128
+	for k, v := range x {
+		ph := -2 * math.Pi * f * float64(k)
+		acc += complex(v*math.Cos(ph), v*math.Sin(ph))
+	}
+	return acc
+}

@@ -1,0 +1,549 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+	"testing/quick"
+)
+
+func approx(t *testing.T, got, want, tol float64, msg string) {
+	t.Helper()
+	if math.Abs(got-want) > tol {
+		t.Fatalf("%s: got %g want %g (tol %g)", msg, got, want, tol)
+	}
+}
+
+func TestVecEnergyPower(t *testing.T) {
+	v := Vec{1, 1i, complex(1, 1)}
+	approx(t, v.Energy(), 4, 1e-12, "energy")
+	approx(t, v.Power(), 4.0/3, 1e-12, "power")
+	if (Vec{}).Power() != 0 {
+		t.Fatal("empty power must be 0")
+	}
+}
+
+func TestVecScaleAddConj(t *testing.T) {
+	v := Vec{1, 2i}.Scale(2)
+	if v[0] != 2 || v[1] != 4i {
+		t.Fatalf("scale: %v", v)
+	}
+	v.Add(Vec{1, 1})
+	if v[0] != 3 || v[1] != complex(1, 4) {
+		t.Fatalf("add: %v", v)
+	}
+	v = Vec{complex(1, 2)}.Conj()
+	if v[0] != complex(1, -2) {
+		t.Fatalf("conj: %v", v)
+	}
+}
+
+func TestVecAddPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Vec{1}.Add(Vec{1, 2})
+}
+
+func TestDot(t *testing.T) {
+	v := Vec{1, 1i}
+	w := Vec{1, 1i}
+	if got := Dot(v, w); got != 2 {
+		t.Fatalf("Dot: %v", got)
+	}
+}
+
+func TestConvolveImpulse(t *testing.T) {
+	h := Vec{1, 2, 3}
+	y := Convolve(Vec{1}, h)
+	if len(y) != 3 {
+		t.Fatalf("len %d", len(y))
+	}
+	for i := range h {
+		if y[i] != h[i] {
+			t.Fatalf("impulse response mismatch at %d", i)
+		}
+	}
+}
+
+func TestConvolveCommutative(t *testing.T) {
+	x := Vec{1, 2i, 3}
+	h := Vec{0.5, -1}
+	a, b := Convolve(x, h), Convolve(h, x)
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > 1e-12 {
+			t.Fatalf("not commutative at %d", i)
+		}
+	}
+}
+
+func TestUpsampleDownsampleRoundTrip(t *testing.T) {
+	x := Vec{1, 2, 3, 4}
+	u := Upsample(x, 3)
+	if len(u) != 12 {
+		t.Fatalf("upsample len %d", len(u))
+	}
+	d := Downsample(u, 3, 0)
+	for i := range x {
+		if d[i] != x[i] {
+			t.Fatalf("round trip mismatch at %d", i)
+		}
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	approx(t, FromDB(DB(42)), 42, 1e-9, "db round trip")
+	approx(t, DB(10), 10, 1e-12, "10 lin = 10 dB")
+}
+
+func TestSinc(t *testing.T) {
+	approx(t, Sinc(0), 1, 0, "sinc(0)")
+	approx(t, Sinc(1), 0, 1e-15, "sinc(1)")
+	approx(t, Sinc(0.5), 2/math.Pi, 1e-12, "sinc(0.5)")
+}
+
+func TestWindowsEndpointsAndSymmetry(t *testing.T) {
+	for _, n := range []int{5, 16, 33} {
+		for name, w := range map[string][]float64{"hamming": Hamming(n), "blackman": Blackman(n)} {
+			for i := 0; i < n/2; i++ {
+				if math.Abs(w[i]-w[n-1-i]) > 1e-12 {
+					t.Fatalf("%s n=%d asymmetric at %d", name, n, i)
+				}
+			}
+		}
+	}
+	if Hamming(1)[0] != 1 || Blackman(1)[0] != 1 {
+		t.Fatal("single point window must be 1")
+	}
+}
+
+func TestFourierCoefficientPureTone(t *testing.T) {
+	n := 64
+	f := 0.25
+	x := make([]float64, n)
+	for k := range x {
+		x[k] = math.Cos(2 * math.Pi * f * float64(k))
+	}
+	c := FourierCoefficient(x, f)
+	approx(t, cmplx.Abs(c), float64(n)/2, 1e-9, "tone bin magnitude")
+	// Off-bin frequency content of the tone should be tiny.
+	c2 := FourierCoefficient(x, 0.125)
+	if cmplx.Abs(c2) > 1 {
+		t.Fatalf("off-bin leakage too large: %v", cmplx.Abs(c2))
+	}
+}
+
+func TestFIRImpulseResponse(t *testing.T) {
+	taps := []float64{0.25, 0.5, 0.25}
+	f := NewFIR(taps)
+	in := NewVec(8)
+	in[0] = 1
+	out := f.Process(in)
+	for i, want := range taps {
+		approx(t, real(out[i]), want, 1e-12, "impulse tap")
+		_ = i
+	}
+	for i := len(taps); i < len(out); i++ {
+		if out[i] != 0 {
+			t.Fatalf("tail not zero at %d", i)
+		}
+	}
+}
+
+func TestFIRStreamingEqualsOneShot(t *testing.T) {
+	taps := LowpassTaps(0.2, 31)
+	one := NewFIR(taps)
+	chunked := NewFIR(taps)
+	in := NewVec(100)
+	for i := range in {
+		in[i] = complex(math.Sin(float64(i)*0.3), math.Cos(float64(i)*0.17))
+	}
+	ref := one.Process(in)
+	var got Vec
+	for _, sz := range []int{7, 13, 1, 29, 50} {
+		got = append(got, chunked.Process(in[len(got):min(len(got)+sz, len(in))])...)
+		if len(got) >= len(in) {
+			break
+		}
+	}
+	got = append(got, chunked.Process(in[len(got):])...)
+	if len(got) != len(ref) {
+		t.Fatalf("length mismatch %d vs %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if cmplx.Abs(got[i]-ref[i]) > 1e-12 {
+			t.Fatalf("chunked output differs at %d", i)
+		}
+	}
+}
+
+func TestFIRResetAndTaps(t *testing.T) {
+	f := NewFIR([]float64{1, 1})
+	f.Process(Vec{5})
+	f.Reset()
+	out := f.Process(Vec{1})
+	if out[0] != 1 {
+		t.Fatalf("history not cleared: %v", out[0])
+	}
+	tp := f.Taps()
+	tp[0] = 99
+	if f.Taps()[0] == 99 {
+		t.Fatal("Taps must return a copy")
+	}
+}
+
+func TestLowpassTapsDCGainAndRejection(t *testing.T) {
+	taps := LowpassTaps(0.1, 63)
+	approx(t, FrequencyResponseMag(taps, 0), 1, 1e-9, "DC gain")
+	if FrequencyResponseMag(taps, 0.4) > 0.01 {
+		t.Fatalf("stopband rejection too weak: %g", FrequencyResponseMag(taps, 0.4))
+	}
+}
+
+func TestHalfBandStructuralZeros(t *testing.T) {
+	taps := HalfBandTaps(21)
+	mid := len(taps) / 2
+	for i := range taps {
+		if i != mid && (i-mid)%2 == 0 && taps[i] != 0 {
+			t.Fatalf("tap %d should be structurally zero", i)
+		}
+	}
+	approx(t, FrequencyResponseMag(taps, 0), 1, 1e-9, "half-band DC gain")
+	// Half-band amplitude complementarity: A(f) + A(0.5-f) ~ 1, where A is
+	// the zero-phase amplitude response.
+	amp := func(f float64) float64 {
+		a := taps[mid]
+		for k := 1; k <= mid; k++ {
+			a += 2 * taps[mid+k] * math.Cos(2*math.Pi*f*float64(k))
+		}
+		return a
+	}
+	for _, f := range []float64{0.05, 0.1, 0.2} {
+		approx(t, amp(f)+amp(0.5-f), 1, 0.05, "half-band amplitude complementarity")
+	}
+}
+
+func TestHalfBandDecimatorRate(t *testing.T) {
+	d := NewHalfBandDecimator(21)
+	out := d.Process(NewVec(100))
+	if len(out) != 50 {
+		t.Fatalf("decimated length %d", len(out))
+	}
+}
+
+func TestHalfBandDecimatorStreaming(t *testing.T) {
+	in := NewVec(128)
+	for i := range in {
+		in[i] = complex(math.Sin(0.05*float64(i)), 0)
+	}
+	a := NewHalfBandDecimator(21)
+	ref := a.Process(in)
+	b := NewHalfBandDecimator(21)
+	got := append(b.Process(in[:37]), b.Process(in[37:])...)
+	if len(got) != len(ref) {
+		t.Fatalf("length %d vs %d", len(got), len(ref))
+	}
+	for i := range ref {
+		if cmplx.Abs(got[i]-ref[i]) > 1e-12 {
+			t.Fatalf("streaming mismatch at %d", i)
+		}
+	}
+}
+
+func TestDecimationChainFactor(t *testing.T) {
+	c := NewDecimationChain(3, 21)
+	if c.Factor() != 8 {
+		t.Fatalf("factor %d", c.Factor())
+	}
+	out := c.Process(NewVec(160))
+	if len(out) != 20 {
+		t.Fatalf("chain output length %d", len(out))
+	}
+	c.Reset()
+}
+
+func TestRRCUnitEnergyAndSymmetry(t *testing.T) {
+	taps := RRCTaps(0.35, 4, 8)
+	var e float64
+	for _, v := range taps {
+		e += v * v
+	}
+	approx(t, e, 1, 1e-9, "unit energy")
+	for i := 0; i < len(taps)/2; i++ {
+		if math.Abs(taps[i]-taps[len(taps)-1-i]) > 1e-12 {
+			t.Fatalf("asymmetric at %d", i)
+		}
+	}
+}
+
+func TestRRCMatchedPairIsNyquist(t *testing.T) {
+	// TX RRC convolved with RX RRC must be ~zero at nonzero multiples of
+	// the symbol period (ISI-free raised cosine).
+	sps := 4
+	taps := RRCTaps(0.35, sps, 10)
+	tv := make(Vec, len(taps))
+	for i, v := range taps {
+		tv[i] = complex(v, 0)
+	}
+	rc := Convolve(tv, tv)
+	centre := (len(rc) - 1) / 2
+	peak := real(rc[centre])
+	if peak <= 0 {
+		t.Fatal("no pulse peak")
+	}
+	for k := 1; k <= 6; k++ {
+		v := math.Abs(real(rc[centre+k*sps])) / peak
+		if v > 0.01 {
+			t.Fatalf("ISI at symbol offset %d: %g", k, v)
+		}
+	}
+}
+
+func TestRRCSingularPoints(t *testing.T) {
+	// beta=0.5 puts taps exactly on the t = 1/(4 beta) = 0.5 singularity
+	// when sps is even; just check the design doesn't produce NaN/Inf.
+	taps := RRCTaps(0.5, 4, 8)
+	for i, v := range taps {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("bad tap %d: %v", i, v)
+		}
+	}
+}
+
+func TestPulseShaperMatchedFilterEndToEnd(t *testing.T) {
+	sps, span := 4, 10
+	sh := NewPulseShaper(0.35, sps, span)
+	mf := NewMatchedFilter(0.35, sps, span)
+	// Random QPSK-ish symbols.
+	syms := Vec{1 + 1i, 1 - 1i, -1 + 1i, -1 - 1i, 1 + 1i, -1 - 1i, 1 - 1i, -1 + 1i}
+	syms.Scale(complex(1/math.Sqrt2, 0))
+	n := 40
+	tx := sh.Process(append(syms.Clone(), NewVec(n-len(syms))...))
+	rx := mf.Process(tx)
+	// Total delay = shaper + matched filter group delays.
+	delay := int(sh.GroupDelay() + mf.GroupDelay())
+	for i, want := range syms {
+		got := rx[delay+i*sps]
+		if cmplx.Abs(got-want) > 0.05 {
+			t.Fatalf("symbol %d: got %v want %v", i, got, want)
+		}
+	}
+}
+
+func TestNCOFrequencyAndPhase(t *testing.T) {
+	o := NewNCO(0.25, 0)
+	s0, s1, s2 := o.Next(), o.Next(), o.Next()
+	approx(t, real(s0), 1, 1e-12, "cos(0)")
+	approx(t, imag(s1), 1, 1e-12, "quarter turn")
+	approx(t, real(s2), -1, 1e-12, "half turn")
+	o2 := NewNCO(0, math.Pi/2)
+	approx(t, imag(o2.Next()), 1, 1e-12, "initial phase")
+}
+
+func TestNCOMixInverts(t *testing.T) {
+	up := NewNCO(0.1, 0)
+	down := NewNCO(-0.1, 0)
+	in := Vec{1, 1, 1, 1, 1}
+	out := down.Mix(up.Mix(in))
+	for i := range in {
+		if cmplx.Abs(out[i]-in[i]) > 1e-12 {
+			t.Fatalf("mix round trip at %d", i)
+		}
+	}
+}
+
+func TestNCOAdjustPhaseWraps(t *testing.T) {
+	o := NewNCO(0, 3)
+	o.AdjustPhase(3) // 6 > pi, wraps
+	if p := o.Phase(); p > math.Pi || p < -math.Pi {
+		t.Fatalf("unwrapped phase %g", p)
+	}
+}
+
+func TestDDCRecoversBasebandTone(t *testing.T) {
+	// A carrier at f=0.2 carrying DC should demodulate to ~constant.
+	carrier := NewNCO(0.2, 0).Block(400)
+	ddc := NewDDC(0.2, 0.05, 63, 1)
+	out := ddc.Process(carrier)
+	// Skip the filter transient, then expect near-constant magnitude 1.
+	for i := 200; i < len(out); i++ {
+		if math.Abs(cmplx.Abs(out[i])-1) > 0.02 {
+			t.Fatalf("sample %d magnitude %g", i, cmplx.Abs(out[i]))
+		}
+	}
+}
+
+func TestDDCDecimation(t *testing.T) {
+	ddc := NewDDC(0.2, 0.05, 31, 4)
+	if ddc.Decimation() != 4 {
+		t.Fatal("decimation factor")
+	}
+	out := ddc.Process(NewVec(100))
+	if len(out) != 25 {
+		t.Fatalf("output length %d", len(out))
+	}
+}
+
+func TestDUCDDCRoundTrip(t *testing.T) {
+	duc := NewDUC(0.2, 0.1, 63, 2)
+	ddc := NewDDC(0.2, 0.1, 63, 2)
+	in := NewVec(64)
+	for i := range in {
+		in[i] = 1
+	}
+	rx := ddc.Process(duc.Process(in))
+	// After both filter transients the round trip should be ~unity.
+	last := rx[len(rx)-1]
+	if math.Abs(cmplx.Abs(last)-1) > 0.05 {
+		t.Fatalf("round trip gain %g", cmplx.Abs(last))
+	}
+}
+
+func TestFarrowExactOnCubic(t *testing.T) {
+	// Cubic interpolation must be exact for polynomials up to degree 3.
+	poly := func(x float64) float64 { return 2 + 3*x - 0.5*x*x + 0.25*x*x*x }
+	var f Farrow
+	x0, x1, x2, x3 := complex(poly(-1), 0), complex(poly(0), 0), complex(poly(1), 0), complex(poly(2), 0)
+	for _, mu := range []float64{0, 0.25, 0.5, 0.75, 0.999} {
+		got := f.Interp(x0, x1, x2, x3, mu)
+		approx(t, real(got), poly(mu), 1e-9, "cubic exactness")
+	}
+}
+
+func TestFarrowInterpAtEdges(t *testing.T) {
+	var f Farrow
+	x := Vec{1, 2, 3}
+	if got := f.InterpAt(x, 0); cmplx.Abs(got-1) > 1e-9 {
+		t.Fatalf("edge 0: %v", got)
+	}
+	if got := f.InterpAt(Vec{}, 1); got != 0 {
+		t.Fatal("empty vec must give 0")
+	}
+}
+
+func TestChannelNoiseVariance(t *testing.T) {
+	c := NewChannel(1)
+	c.EsN0dB = 10
+	c.SPS = 1
+	n := 200000
+	in := NewVec(n)
+	for i := range in {
+		in[i] = 1
+	}
+	out := c.Apply(in)
+	// Measured noise power should be ~ signal power / (Es/N0) = 0.1.
+	var np float64
+	for i := range out {
+		d := out[i] - in[i]
+		np += real(d)*real(d) + imag(d)*imag(d)
+	}
+	np /= float64(n)
+	approx(t, np, 0.1, 0.01, "noise power")
+}
+
+func TestChannelDeterministicUnderSeed(t *testing.T) {
+	mk := func() Vec {
+		c := NewChannel(42)
+		c.EsN0dB = 5
+		in := NewVec(32)
+		for i := range in {
+			in[i] = 1
+		}
+		return c.Apply(in)
+	}
+	a, b := mk(), mk()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("channel not deterministic under fixed seed")
+		}
+	}
+}
+
+func TestChannelPhaseOffset(t *testing.T) {
+	c := NewChannel(7)
+	c.PhaseOffset = math.Pi / 2
+	out := c.Apply(Vec{1})
+	if cmplx.Abs(out[0]-1i) > 1e-9 {
+		t.Fatalf("phase rotation: %v", out[0])
+	}
+}
+
+func TestEbN0Conversion(t *testing.T) {
+	// QPSK (2 bits/sym), rate 1/2: Es/N0 = Eb/N0 + 10log10(1) = Eb/N0.
+	approx(t, EbN0ToEsN0(4, 2, 0.5), 4, 1e-12, "qpsk r=1/2")
+	// BPSK uncoded: identical.
+	approx(t, EbN0ToEsN0(4, 1, 1), 4, 1e-12, "bpsk uncoded")
+	// QPSK uncoded: +3.01 dB.
+	approx(t, EbN0ToEsN0(4, 2, 1), 4+DB(2), 1e-12, "qpsk uncoded")
+}
+
+func TestTheoreticalBER(t *testing.T) {
+	// Known value: BPSK at 9.6 dB ~ 1e-5.
+	ber := TheoreticalBPSKBER(9.6)
+	if ber < 0.5e-5 || ber > 2e-5 {
+		t.Fatalf("BPSK 9.6dB BER %g", ber)
+	}
+	if QFunc(0) != 0.5 {
+		t.Fatal("Q(0) must be 0.5")
+	}
+}
+
+func TestAGCConverges(t *testing.T) {
+	a := NewAGC(1, 0.01)
+	in := NewVec(4000)
+	for i := range in {
+		in[i] = complex(4, 0) // power 16, needs gain 0.25
+	}
+	out := a.Process(in)
+	p := real(out[len(out)-1]) * real(out[len(out)-1])
+	approx(t, p, 1, 0.05, "AGC steady-state power")
+	a.Reset()
+	if a.Gain() != 1 {
+		t.Fatal("reset gain")
+	}
+}
+
+func TestPropertyConvolutionLinearity(t *testing.T) {
+	f := func(a, b float64) bool {
+		a, b = math.Mod(a, 100), math.Mod(b, 100)
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		x := Vec{complex(a, b), complex(b, -a), 1}
+		h := Vec{0.5, 0.25}
+		y1 := Convolve(x.Clone().Scale(2), h)
+		y2 := Convolve(x, h).Scale(2)
+		for i := range y1 {
+			if cmplx.Abs(y1[i]-y2[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyUpsampleEnergy(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		a, b, c = math.Mod(a, 100), math.Mod(b, 100), math.Mod(c, 100)
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		x := Vec{complex(a, 0), complex(b, 0), complex(c, 0)}
+		return math.Abs(Upsample(x, 4).Energy()-x.Energy()) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,46 @@
+package dsp
+
+// Farrow is a cubic Lagrange polynomial interpolator used by timing
+// recovery to resample the matched-filter output at the estimated symbol
+// instants. Fractional delay mu in [0,1) is applied between the two middle
+// samples of a 4-sample window.
+type Farrow struct{}
+
+// Interp evaluates the interpolant at offset mu in [0,1) past sample x1,
+// given the 4-point neighbourhood x0 (earliest) .. x3 (latest).
+func (Farrow) Interp(x0, x1, x2, x3 complex128, mu float64) complex128 {
+	// Cubic Lagrange coefficients (Farrow structure, basepoint x1).
+	m := complex(mu, 0)
+	c0 := x1
+	c1 := x2 - x0/3 - x1/2 - x3/6
+	c2 := (x0+x2)/2 - x1
+	c3 := (x3-x0)/6 + (x1-x2)/2
+	return ((c3*m+c2)*m+c1)*m + c0
+}
+
+// InterpAt resamples the block x at fractional index pos (0 <= pos <=
+// len(x)-1) using cubic interpolation, clamping the neighbourhood at the
+// block edges.
+func (f Farrow) InterpAt(x Vec, pos float64) complex128 {
+	if len(x) == 0 {
+		return 0
+	}
+	i := int(pos)
+	if i < 0 {
+		i = 0
+	}
+	if i > len(x)-1 {
+		i = len(x) - 1
+	}
+	mu := pos - float64(i)
+	idx := func(k int) complex128 {
+		if k < 0 {
+			k = 0
+		}
+		if k > len(x)-1 {
+			k = len(x) - 1
+		}
+		return x[k]
+	}
+	return f.Interp(idx(i-1), idx(i), idx(i+1), idx(i+2), mu)
+}

@@ -1,0 +1,101 @@
+package dsp
+
+import "math"
+
+// FIR is a streaming finite impulse response filter over complex samples
+// with real-valued taps. It keeps len(taps)-1 samples of history between
+// calls so that arbitrarily chunked streams produce identical output to a
+// single-shot call.
+type FIR struct {
+	taps []float64
+	hist Vec // most recent len(taps)-1 inputs, oldest first
+}
+
+// NewFIR builds a streaming filter from taps. The taps slice is copied.
+func NewFIR(taps []float64) *FIR {
+	if len(taps) == 0 {
+		panic("dsp: NewFIR requires at least one tap")
+	}
+	t := make([]float64, len(taps))
+	copy(t, taps)
+	return &FIR{taps: t, hist: NewVec(len(taps) - 1)}
+}
+
+// Taps returns a copy of the filter taps.
+func (f *FIR) Taps() []float64 {
+	t := make([]float64, len(f.taps))
+	copy(t, f.taps)
+	return t
+}
+
+// Reset clears the filter history.
+func (f *FIR) Reset() {
+	for i := range f.hist {
+		f.hist[i] = 0
+	}
+}
+
+// Process filters the block in and returns len(in) output samples
+// (the steady-state causal output; group delay is (len(taps)-1)/2 samples).
+func (f *FIR) Process(in Vec) Vec {
+	n := len(f.taps)
+	// Build the extended buffer: history then input.
+	ext := make(Vec, len(f.hist)+len(in))
+	copy(ext, f.hist)
+	copy(ext[len(f.hist):], in)
+
+	out := NewVec(len(in))
+	for i := range in {
+		// Output sample i uses ext[i .. i+n-1]; taps reversed.
+		var acc complex128
+		base := i
+		for j := 0; j < n; j++ {
+			acc += ext[base+j] * complex(f.taps[n-1-j], 0)
+		}
+		out[i] = acc
+	}
+	// Save new history.
+	if len(ext) >= n-1 {
+		copy(f.hist, ext[len(ext)-(n-1):])
+	}
+	return out
+}
+
+// GroupDelay returns the filter group delay in samples for symmetric taps.
+func (f *FIR) GroupDelay() float64 { return float64(len(f.taps)-1) / 2 }
+
+// LowpassTaps designs a windowed-sinc linear-phase lowpass FIR with the
+// given normalized cutoff (cycles/sample, 0 < cutoff < 0.5) and ntaps taps
+// (odd recommended), using a Hamming window. Taps are normalized to unity
+// DC gain.
+func LowpassTaps(cutoff float64, ntaps int) []float64 {
+	if cutoff <= 0 || cutoff >= 0.5 {
+		panic("dsp: LowpassTaps cutoff must be in (0, 0.5)")
+	}
+	if ntaps < 1 {
+		panic("dsp: LowpassTaps needs ntaps >= 1")
+	}
+	w := Hamming(ntaps)
+	taps := make([]float64, ntaps)
+	mid := float64(ntaps-1) / 2
+	var sum float64
+	for i := range taps {
+		taps[i] = 2 * cutoff * Sinc(2*cutoff*(float64(i)-mid)) * w[i]
+		sum += taps[i]
+	}
+	for i := range taps {
+		taps[i] /= sum
+	}
+	return taps
+}
+
+// FrequencyResponseMag returns |H(f)| of taps at normalized frequency f.
+func FrequencyResponseMag(taps []float64, f float64) float64 {
+	var re, im float64
+	for k, t := range taps {
+		ph := -2 * math.Pi * f * float64(k)
+		re += t * math.Cos(ph)
+		im += t * math.Sin(ph)
+	}
+	return math.Hypot(re, im)
+}

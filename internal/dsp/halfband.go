@@ -1,0 +1,109 @@
+package dsp
+
+// Half-band filters are the workhorse of the payload's sample-rate
+// reduction chain (Fig 2 of the paper shows a half-band filter after each
+// mixer). A half-band lowpass has every second tap equal to zero except the
+// centre tap, which halves the multiplier count — the property that makes
+// them attractive for on-board decimation.
+
+// HalfBandTaps designs an order-n half-band lowpass (n taps, n odd,
+// (n-1)/2 even so the zero-tap pattern holds), windowed-sinc with a
+// Blackman window. Cutoff is fixed at 0.25 cycles/sample by construction.
+func HalfBandTaps(ntaps int) []float64 {
+	if ntaps < 3 || ntaps%2 == 0 {
+		panic("dsp: HalfBandTaps requires odd ntaps >= 3")
+	}
+	if ((ntaps-1)/2)%2 != 0 {
+		panic("dsp: HalfBandTaps requires (ntaps-1)/2 even for the half-band zero pattern")
+	}
+	w := Blackman(ntaps)
+	taps := make([]float64, ntaps)
+	mid := (ntaps - 1) / 2
+	for i := range taps {
+		x := float64(i - mid)
+		taps[i] = 0.5 * Sinc(x/2) * w[i]
+	}
+	// Force the structural zeros exactly (windowing keeps them ~0 anyway).
+	for i := range taps {
+		if i != mid && (i-mid)%2 == 0 {
+			taps[i] = 0
+		}
+	}
+	// Normalize DC gain to 1.
+	var sum float64
+	for _, t := range taps {
+		sum += t
+	}
+	for i := range taps {
+		taps[i] /= sum
+	}
+	return taps
+}
+
+// HalfBandDecimator filters with a half-band lowpass and decimates by 2.
+// It is streaming: chunked input yields the same output as one-shot input.
+type HalfBandDecimator struct {
+	fir   *FIR
+	phase int // parity of the next input sample (0 = keep filtered output)
+}
+
+// NewHalfBandDecimator builds a decimator with an ntaps half-band filter.
+func NewHalfBandDecimator(ntaps int) *HalfBandDecimator {
+	return &HalfBandDecimator{fir: NewFIR(HalfBandTaps(ntaps))}
+}
+
+// Process filters and decimates a block, returning roughly len(in)/2 samples.
+func (d *HalfBandDecimator) Process(in Vec) Vec {
+	filtered := d.fir.Process(in)
+	out := NewVec(0)
+	for i := range filtered {
+		if (d.phase+i)%2 == 0 {
+			out = append(out, filtered[i])
+		}
+	}
+	d.phase = (d.phase + len(in)) % 2
+	return out
+}
+
+// Reset clears filter history and decimation phase.
+func (d *HalfBandDecimator) Reset() {
+	d.fir.Reset()
+	d.phase = 0
+}
+
+// DecimationChain cascades k half-band decimators for a 2^k rate reduction,
+// as used between the payload IF stages and baseband.
+type DecimationChain struct {
+	stages []*HalfBandDecimator
+}
+
+// NewDecimationChain builds a chain of k half-band stages of ntaps each.
+func NewDecimationChain(k, ntaps int) *DecimationChain {
+	if k < 1 {
+		panic("dsp: NewDecimationChain requires k >= 1")
+	}
+	c := &DecimationChain{stages: make([]*HalfBandDecimator, k)}
+	for i := range c.stages {
+		c.stages[i] = NewHalfBandDecimator(ntaps)
+	}
+	return c
+}
+
+// Factor returns the total decimation factor 2^k.
+func (c *DecimationChain) Factor() int { return 1 << len(c.stages) }
+
+// Process runs the block through every stage.
+func (c *DecimationChain) Process(in Vec) Vec {
+	v := in
+	for _, s := range c.stages {
+		v = s.Process(v)
+	}
+	return v
+}
+
+// Reset clears every stage.
+func (c *DecimationChain) Reset() {
+	for _, s := range c.stages {
+		s.Reset()
+	}
+}

@@ -1,0 +1,140 @@
+package dsp
+
+import "math"
+
+// NCO is a numerically controlled oscillator producing exp(j 2 pi f n + phi).
+// It is the digital local oscillator used by the payload's down-conversion
+// (DDC) and up-conversion stages (LO1, LO2a/b in Fig 2 of the paper).
+type NCO struct {
+	freq  float64 // cycles per sample
+	phase float64 // current phase in radians
+}
+
+// NewNCO creates an oscillator at normalized frequency freq (cycles/sample)
+// with initial phase radians.
+func NewNCO(freq, phase float64) *NCO {
+	return &NCO{freq: freq, phase: phase}
+}
+
+// Freq returns the current frequency in cycles/sample.
+func (o *NCO) Freq() float64 { return o.freq }
+
+// SetFreq retunes the oscillator without a phase discontinuity.
+func (o *NCO) SetFreq(freq float64) { o.freq = freq }
+
+// Phase returns the current phase in radians.
+func (o *NCO) Phase() float64 { return o.phase }
+
+// AdjustPhase adds dp radians to the accumulator (used by tracking loops).
+func (o *NCO) AdjustPhase(dp float64) {
+	o.phase = wrapPhase(o.phase + dp)
+}
+
+// Next returns the next oscillator sample and advances the accumulator.
+func (o *NCO) Next() complex128 {
+	s := complex(math.Cos(o.phase), math.Sin(o.phase))
+	o.phase = wrapPhase(o.phase + 2*math.Pi*o.freq)
+	return s
+}
+
+// Block produces n oscillator samples.
+func (o *NCO) Block(n int) Vec {
+	out := NewVec(n)
+	for i := range out {
+		out[i] = o.Next()
+	}
+	return out
+}
+
+// Mix multiplies the input block by the oscillator (frequency translation).
+func (o *NCO) Mix(in Vec) Vec {
+	out := NewVec(len(in))
+	for i, s := range in {
+		out[i] = s * o.Next()
+	}
+	return out
+}
+
+func wrapPhase(p float64) float64 {
+	for p > math.Pi {
+		p -= 2 * math.Pi
+	}
+	for p < -math.Pi {
+		p += 2 * math.Pi
+	}
+	return p
+}
+
+// DDC is a digital down-converter: an NCO mixer followed by a lowpass FIR
+// and a decimator. One DDC per carrier implements the payload DEMUX for a
+// multi-frequency (MF-TDMA) uplink.
+type DDC struct {
+	nco    *NCO
+	lp     *FIR
+	decim  int
+	dPhase int
+}
+
+// NewDDC builds a down-converter that translates a carrier at normalized
+// frequency freq to baseband, lowpass filters with the given cutoff and
+// ntaps, and decimates by decim.
+func NewDDC(freq, cutoff float64, ntaps, decim int) *DDC {
+	if decim < 1 {
+		panic("dsp: NewDDC decim must be >= 1")
+	}
+	return &DDC{
+		nco:   NewNCO(-freq, 0),
+		lp:    NewFIR(LowpassTaps(cutoff, ntaps)),
+		decim: decim,
+	}
+}
+
+// Decimation returns the decimation factor.
+func (d *DDC) Decimation() int { return d.decim }
+
+// Process translates, filters and decimates a block.
+func (d *DDC) Process(in Vec) Vec {
+	mixed := d.nco.Mix(in)
+	filtered := d.lp.Process(mixed)
+	if d.decim == 1 {
+		return filtered
+	}
+	out := NewVec(0)
+	for i := range filtered {
+		if (d.dPhase+i)%d.decim == 0 {
+			out = append(out, filtered[i])
+		}
+	}
+	d.dPhase = (d.dPhase + len(in)) % d.decim
+	return out
+}
+
+// DUC is a digital up-converter: zero-stuff interpolation, image-reject
+// lowpass, then NCO mixing to the carrier. It is the transmit-side dual of
+// DDC, used by the payload Tx section.
+type DUC struct {
+	nco    *NCO
+	lp     *FIR
+	interp int
+}
+
+// NewDUC builds an up-converter interpolating by interp and translating
+// baseband to normalized frequency freq.
+func NewDUC(freq, cutoff float64, ntaps, interp int) *DUC {
+	if interp < 1 {
+		panic("dsp: NewDUC interp must be >= 1")
+	}
+	return &DUC{
+		nco:    NewNCO(freq, 0),
+		lp:     NewFIR(LowpassTaps(cutoff, ntaps)),
+		interp: interp,
+	}
+}
+
+// Process interpolates, filters and up-converts a baseband block.
+func (u *DUC) Process(in Vec) Vec {
+	up := Upsample(in, u.interp)
+	up.Scale(complex(float64(u.interp), 0))
+	filtered := u.lp.Process(up)
+	return u.nco.Mix(filtered)
+}

@@ -1,0 +1,110 @@
+package dsp
+
+import "math"
+
+// RRCTaps designs a root-raised-cosine pulse-shaping filter.
+//
+//	beta  — roll-off factor in (0, 1]
+//	sps   — samples per symbol
+//	span  — filter length in symbols (taps = span*sps + 1)
+//
+// The taps are normalized to unit energy so that a matched pair
+// (transmit RRC, receive RRC) yields a raised-cosine Nyquist pulse with
+// unity peak at the optimum sampling instant.
+func RRCTaps(beta float64, sps, span int) []float64 {
+	if beta <= 0 || beta > 1 {
+		panic("dsp: RRCTaps beta must be in (0, 1]")
+	}
+	if sps < 2 {
+		panic("dsp: RRCTaps needs sps >= 2")
+	}
+	if span < 2 {
+		panic("dsp: RRCTaps needs span >= 2")
+	}
+	n := span*sps + 1
+	taps := make([]float64, n)
+	mid := (n - 1) / 2
+	for i := range taps {
+		t := float64(i-mid) / float64(sps) // time in symbol periods
+		taps[i] = rrcPoint(t, beta)
+	}
+	// Unit energy normalization.
+	var e float64
+	for _, v := range taps {
+		e += v * v
+	}
+	e = math.Sqrt(e)
+	for i := range taps {
+		taps[i] /= e
+	}
+	return taps
+}
+
+// rrcPoint evaluates the (unnormalized) RRC impulse response at t symbol
+// periods, handling the removable singularities at t=0 and t=±1/(4 beta).
+func rrcPoint(t, beta float64) float64 {
+	switch {
+	case t == 0:
+		return 1 - beta + 4*beta/math.Pi
+	case math.Abs(math.Abs(t)-1/(4*beta)) < 1e-12:
+		a := (1 + 2/math.Pi) * math.Sin(math.Pi/(4*beta))
+		b := (1 - 2/math.Pi) * math.Cos(math.Pi/(4*beta))
+		return beta / math.Sqrt2 * (a + b)
+	default:
+		num := math.Sin(math.Pi*t*(1-beta)) + 4*beta*t*math.Cos(math.Pi*t*(1+beta))
+		den := math.Pi * t * (1 - (4*beta*t)*(4*beta*t))
+		return num / den
+	}
+}
+
+// PulseShaper upsamples a symbol stream by sps and filters it with an RRC
+// pulse, producing a transmit baseband waveform. Streaming-safe.
+type PulseShaper struct {
+	fir *FIR
+	sps int
+}
+
+// NewPulseShaper builds a transmit shaper with the given RRC parameters.
+func NewPulseShaper(beta float64, sps, span int) *PulseShaper {
+	return &PulseShaper{fir: NewFIR(RRCTaps(beta, sps, span)), sps: sps}
+}
+
+// SPS returns the samples-per-symbol factor.
+func (p *PulseShaper) SPS() int { return p.sps }
+
+// GroupDelay returns the shaping filter delay in samples.
+func (p *PulseShaper) GroupDelay() float64 { return p.fir.GroupDelay() }
+
+// Process shapes a block of symbols into sps*len(symbols) samples.
+// Because the taps have unit energy, the shaper + matched filter cascade
+// has unity gain at the decision instant.
+func (p *PulseShaper) Process(symbols Vec) Vec {
+	up := Upsample(symbols, p.sps)
+	return p.fir.Process(up)
+}
+
+// Reset clears the shaper state.
+func (p *PulseShaper) Reset() { p.fir.Reset() }
+
+// MatchedFilter is the receive-side RRC filter paired with PulseShaper.
+type MatchedFilter struct {
+	fir *FIR
+	sps int
+}
+
+// NewMatchedFilter builds the receive matched filter.
+func NewMatchedFilter(beta float64, sps, span int) *MatchedFilter {
+	return &MatchedFilter{fir: NewFIR(RRCTaps(beta, sps, span)), sps: sps}
+}
+
+// Process filters a received block at sample rate.
+func (m *MatchedFilter) Process(in Vec) Vec { return m.fir.Process(in) }
+
+// GroupDelay returns the filter delay in samples.
+func (m *MatchedFilter) GroupDelay() float64 { return m.fir.GroupDelay() }
+
+// SPS returns the samples-per-symbol factor the filter was designed for.
+func (m *MatchedFilter) SPS() int { return m.sps }
+
+// Reset clears the filter state.
+func (m *MatchedFilter) Reset() { m.fir.Reset() }

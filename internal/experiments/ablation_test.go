@@ -1,0 +1,82 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestAblationTimingShortBurstsFavourOerderMeyr(t *testing.T) {
+	tab := AblationTiming([]int{64, 512}, 12, 10, 3)
+	if len(tab.Rows) != 2 {
+		t.Fatal("rows")
+	}
+	parse := func(s string) float64 {
+		var v float64
+		fmt.Sscan(s, &v)
+		return v
+	}
+	// Short bursts: O&M must be at least as good as Gardner.
+	shortG, shortOM := parse(tab.Rows[0].Values[0]), parse(tab.Rows[0].Values[1])
+	if shortOM > shortG {
+		t.Fatalf("short burst: O&M %g should not lose to Gardner %g", shortOM, shortG)
+	}
+	// O&M must be clean at 10 dB.
+	if shortOM > 1e-2 {
+		t.Fatalf("O&M short-burst BER too high: %g", shortOM)
+	}
+}
+
+func TestAblationScrubberAccounting(t *testing.T) {
+	tab := AblationScrubbers(80, 4)
+	if len(tab.Rows) != 3 {
+		t.Fatal("rows")
+	}
+	parse := func(s string) float64 {
+		var v float64
+		fmt.Sscan(s, &v)
+		return v
+	}
+	blindWrites := parse(tab.Rows[0].Values[2])
+	rbWrites := parse(tab.Rows[1].Values[2])
+	if rbWrites >= blindWrites {
+		t.Fatalf("readback should write less than blind: %g vs %g", rbWrites, blindWrites)
+	}
+	blindReads := parse(tab.Rows[0].Values[1])
+	rbReads := parse(tab.Rows[1].Values[1])
+	if blindReads != 0 || rbReads == 0 {
+		t.Fatalf("readback accounting: blind=%g rb=%g", blindReads, rbReads)
+	}
+	crcStorage := parse(tab.Rows[2].Values[0])
+	fullStorage := parse(tab.Rows[1].Values[0])
+	if crcStorage >= fullStorage {
+		t.Fatalf("CRC storage %g must beat full compare %g", crcStorage, fullStorage)
+	}
+	// All three maintain availability under per-pass scrubbing.
+	for i, r := range tab.Rows {
+		if parse(r.Values[3]) < 0.95 {
+			t.Fatalf("scheme %d availability %s", i, r.Values[3])
+		}
+	}
+}
+
+func TestAblationTCModes(t *testing.T) {
+	tab := AblationTCModes(5)
+	if len(tab.Rows) != 4 {
+		t.Fatal("rows")
+	}
+	// Clean small test: both deliver.
+	if tab.Rows[0].Values[1] != "true" || tab.Rows[1].Values[1] != "true" {
+		t.Fatalf("clean delivery: %+v", tab.Rows[:2])
+	}
+	// Lossy 64 kB: BD loses data, AD delivers with retransmissions.
+	if tab.Rows[2].Values[1] != "false" {
+		t.Fatalf("BD should lose frames at BER 1e-5: %+v", tab.Rows[2])
+	}
+	if tab.Rows[3].Values[1] != "true" {
+		t.Fatalf("AD must deliver at BER 1e-5: %+v", tab.Rows[3])
+	}
+	if !strings.Contains(tab.Title, "express") {
+		t.Fatal("title")
+	}
+}

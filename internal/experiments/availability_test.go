@@ -1,0 +1,26 @@
+package experiments
+
+import "testing"
+
+func TestE6PayloadAvailability(t *testing.T) {
+	servedNo, totalNo, _ := E6PayloadAvailability(60, 0, 9)
+	servedYes, totalYes, _ := E6PayloadAvailability(60, 1, 9)
+	if totalNo != 60 || totalYes != 60 {
+		t.Fatal("totals")
+	}
+	// Under flare rates the unscrubbed demodulator is effectively dead;
+	// per-step scrubbing restores full service.
+	if servedNo > totalNo/4 {
+		t.Fatalf("unscrubbed served %d/%d — implausibly healthy", servedNo, totalNo)
+	}
+	if servedYes < totalYes*9/10 {
+		t.Fatalf("scrubbed served only %d/%d", servedYes, totalYes)
+	}
+}
+
+func TestE6PayloadAvailabilityComparisonTable(t *testing.T) {
+	tab := E6PayloadAvailabilityComparison(40, 10)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+}

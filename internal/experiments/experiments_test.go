@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/payload"
+)
+
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }
+
+func TestTablePrint(t *testing.T) {
+	tab := &Table{Title: "t", Columns: []string{"a"}, Rows: []Row{{"r", []string{"1"}}}, Notes: []string{"n"}}
+	var b bytes.Buffer
+	tab.Print(&b)
+	out := b.String()
+	for _, want := range []string{"== t ==", "a", "r", "1", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in %s", want, out)
+		}
+	}
+}
+
+func TestE1SEURateNearTable1(t *testing.T) {
+	tab := E1Table1(5000, 1)
+	// Find the measured row and parse magnitude sanity via string match.
+	found := false
+	for _, r := range tab.Rows {
+		if strings.Contains(r.Label, "measured") {
+			found = true
+			var rate float64
+			if _, err := fmt.Sscan(r.Values[1], &rate); err != nil {
+				t.Fatalf("parse %q: %v", r.Values[1], err)
+			}
+			if math.Abs(rate-1e-7)/1e-7 > 0.2 {
+				t.Fatalf("measured SEU rate %g not within 20%% of 1e-7", rate)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no measured row")
+	}
+}
+
+func TestE2ComplexityShape(t *testing.T) {
+	tab := E2Complexity(4)
+	if len(tab.Rows) != 5 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	// TDMA and 1-user CDMA must fit the 200k profile; 4-user must not.
+	if tab.Rows[0].Values[1] != "true" || tab.Rows[1].Values[1] != "true" {
+		t.Fatalf("200k profile rows: %+v", tab.Rows[:2])
+	}
+	if tab.Rows[4].Values[1] != "false" {
+		t.Fatalf("4-user CDMA should exceed the profile: %+v", tab.Rows[4])
+	}
+}
+
+func TestE3MigrationShape(t *testing.T) {
+	res := E3Migration([]float64{4, 8}, 6000, 42)
+	// Implementation loss within ~1.5 dB of theory at these points.
+	if res.MaxDegradationdB > 1.5 {
+		t.Fatalf("implementation loss %.2f dB too large", res.MaxDegradationdB)
+	}
+	// Throughput gain ~8x vs the 256 kbps default CDMA configuration.
+	if res.ThroughputGain < 5 || res.ThroughputGain > 10 {
+		t.Fatalf("throughput gain %.1f", res.ThroughputGain)
+	}
+}
+
+func TestBERDecreasesWithSNR(t *testing.T) {
+	lo := TDMABERPoint(2, 8000, 1)
+	hi := TDMABERPoint(8, 8000, 1)
+	if hi >= lo {
+		t.Fatalf("TDMA BER not decreasing: %g -> %g", lo, hi)
+	}
+	clo := CDMABERPoint(2, 8000, 2)
+	chi := CDMABERPoint(8, 8000, 2)
+	if chi >= clo {
+		t.Fatalf("CDMA BER not decreasing: %g -> %g", clo, chi)
+	}
+}
+
+func TestE4TimelineShape(t *testing.T) {
+	res := E4Timeline(3)
+	if len(res.Reports) != 3 {
+		t.Fatalf("reports %d", len(res.Reports))
+	}
+	tftp, scps, lib := res.Reports[0], res.Reports[1], res.Reports[2]
+	if !tftp.OK || !scps.OK || !lib.OK {
+		t.Fatalf("failures: %+v", res.Reports)
+	}
+	if scps.UploadTime() >= tftp.UploadTime() {
+		t.Fatalf("SCPS upload %.2f should beat TFTP %.2f", scps.UploadTime(), tftp.UploadTime())
+	}
+	if lib.Total() >= scps.Total() {
+		t.Fatalf("library path %.2f should beat any upload %.2f", lib.Total(), scps.Total())
+	}
+}
+
+func TestE5ProtocolOrdering(t *testing.T) {
+	tab := E5Protocols([]int{64 * 1024}, 4)
+	if len(tab.Rows) != 2 { // clean + BER variant
+		t.Fatal("rows")
+	}
+	vals := tab.Rows[0].Values
+	parse := func(s string) float64 {
+		var v float64
+		if _, err := sscan(s, &v); err != nil {
+			t.Fatalf("parse %q: %v", s, err)
+		}
+		return v
+	}
+	tftp, w4, w32 := parse(vals[0]), parse(vals[1]), parse(vals[2])
+	if !(w32 < w4 && w4 < tftp) {
+		t.Fatalf("ordering violated: tftp=%g w4=%g w32=%g", tftp, w4, w32)
+	}
+	// TFTP on 64 kB: 128 blocks x ~0.26 s ≈ 33 s.
+	if tftp < 20 {
+		t.Fatalf("TFTP implausibly fast: %g", tftp)
+	}
+}
+
+func TestE6MitigationClaims(t *testing.T) {
+	res := E6Mitigation(2_000_000, 0.01, 120, 5)
+	// Measured false-event probability ~3*pe^2 (paper approximates pe^2).
+	if res.TMRFalseEventRatio < 1 || res.TMRFalseEventRatio > 6 {
+		t.Fatalf("TMR false-event ratio %.2f outside [1,6] x pe^2", res.TMRFalseEventRatio)
+	}
+	if res.TMROverhead <= 3 {
+		t.Fatalf("TMR overhead %.2f must exceed 3x", res.TMROverhead)
+	}
+	if res.DupOverhead <= 2 {
+		t.Fatalf("duplication overhead %.2f must exceed 2x", res.DupOverhead)
+	}
+	if res.ScrubbedAvailability <= res.UnscrubbedAvailability {
+		t.Fatalf("scrubbing availability %.3f vs %.3f", res.ScrubbedAvailability, res.UnscrubbedAvailability)
+	}
+}
+
+func TestE6ScrubbingSweepMonotone(t *testing.T) {
+	tab := E6ScrubbingSweep(120, []int{0, 8, 2, 1}, 6)
+	if len(tab.Rows) != 4 {
+		t.Fatal("rows")
+	}
+	// Occupancy must drop as scrubbing gets more frequent.
+	var occ []float64
+	for _, r := range tab.Rows {
+		var v float64
+		if _, err := sscan(r.Values[0], &v); err != nil {
+			t.Fatal(err)
+		}
+		occ = append(occ, v)
+	}
+	if !(occ[3] <= occ[2] && occ[2] <= occ[1] && occ[1] <= occ[0]) {
+		t.Fatalf("occupancy not monotone: %v", occ)
+	}
+}
+
+func TestE7PartitioningShape(t *testing.T) {
+	res := E7Partitioning(7)
+	if res.ServicesInterrupted[payload.SingleChip] <= res.ServicesInterrupted[payload.PerEquipment] {
+		t.Fatalf("interruption scope: %v", res.ServicesInterrupted)
+	}
+	if res.Interruption[payload.SingleChip] <= res.Interruption[payload.PerEquipment] {
+		t.Fatalf("single-chip reload must take longer: %v", res.Interruption)
+	}
+}
+
+func TestE8CodingGainOrdering(t *testing.T) {
+	res := E8Decoders([]float64{3}, 30000, 8)
+	un := res.BERs["uncoded"][0]
+	cv := res.BERs["conv-r1/2-k9"][0]
+	tb := res.BERs["turbo-r1/3"][0]
+	if !(tb <= cv && cv < un) {
+		t.Fatalf("coding gain ordering: uncoded=%g conv=%g turbo=%g", un, cv, tb)
+	}
+	if un < 0.01 || un > 0.1 {
+		t.Fatalf("uncoded BER at 3 dB: %g (expect ~2e-2)", un)
+	}
+}
+
+func TestInvQ2RoundTrip(t *testing.T) {
+	for _, x := range []float64{1, 4, 9} {
+		ber := qfunc(mathSqrt(x))
+		if got := invQ2(ber); mathAbs(got-x) > 0.01 {
+			t.Fatalf("invQ2(%g): %g", ber, got)
+		}
+	}
+}
+
+func mathSqrt(x float64) float64 { return math.Sqrt(x) }
+func mathAbs(x float64) float64  { return math.Abs(x) }
+
+// sscan parses the first float in a string (values like "33.1").
+func sscan(s string, v *float64) (int, error) {
+	return fmtSscan(s, v)
+}

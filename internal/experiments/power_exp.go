@@ -1,0 +1,44 @@
+package experiments
+
+import "repro/internal/gates"
+
+// E9Power performs the analysis the paper's §4.4 explicitly leaves open:
+// "the increase of electrical power required by a FPGA payload instead
+// of a ASIC payload has not been analyzed yet and could be a constraint".
+// For each payload function, the same design is costed on a space ASIC
+// and an SRAM FPGA at its operating clock.
+func E9Power() *Table {
+	t := &Table{
+		Title:   "E9 / sec 4.4 open question: FPGA vs ASIC payload power",
+		Columns: []string{"ASIC (W)", "FPGA (W)", "ratio"},
+	}
+	type entry struct {
+		design  *gates.Design
+		clockHz float64
+	}
+	cases := []entry{
+		{gates.TDMATimingRecovery(6), 32.768e6}, // 16x chip-rate clock
+		{gates.CDMADemodulator(1), 32.768e6},
+		{gates.CDMADemodulator(4), 32.768e6},
+		{gates.ConvolutionalDecoder(9, 2), 16e6},
+		{gates.TurboDecoder(320), 16e6},
+	}
+	const activity = 0.15
+	var totalASIC, totalFPGA float64
+	for _, c := range cases {
+		configBits := c.design.TotalGates() * 4 // ~4 config bits per realized gate
+		asic := gates.EstimatePower(c.design, gates.ASIC180(), c.clockHz, activity, 0)
+		fpga := gates.EstimatePower(c.design, gates.FPGA180(), c.clockHz, activity, configBits)
+		totalASIC += asic.TotalW()
+		totalFPGA += fpga.TotalW()
+		t.Rows = append(t.Rows, Row{c.design.Name + f(" (%d gates)", c.design.TotalGates()), []string{
+			f("%.2f", asic.TotalW()), f("%.2f", fpga.TotalW()),
+			f("%.1fx", fpga.TotalW()/asic.TotalW())}})
+	}
+	t.Rows = append(t.Rows, Row{"payload digital section total", []string{
+		f("%.2f", totalASIC), f("%.2f", totalFPGA), f("%.1fx", totalFPGA/totalASIC)}})
+	t.Notes = append(t.Notes,
+		"the ~7x dynamic-energy gap plus configuration-memory leakage puts the FPGA payload several-fold over the ASIC budget",
+		"this quantifies the constraint the paper flags but does not analyze (sec 4.4, last paragraph)")
+	return t
+}

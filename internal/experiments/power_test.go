@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestE9PowerShape(t *testing.T) {
+	tab := E9Power()
+	if len(tab.Rows) != 6 { // 5 designs + total
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	// Every ratio must show the FPGA costing more.
+	for _, r := range tab.Rows {
+		ratioStr := strings.TrimSuffix(r.Values[2], "x")
+		var ratio float64
+		if _, err := fmt.Sscan(ratioStr, &ratio); err != nil {
+			t.Fatalf("parse ratio %q: %v", r.Values[2], err)
+		}
+		if ratio <= 1.5 {
+			t.Fatalf("%s: FPGA/ASIC ratio %g too low", r.Label, ratio)
+		}
+		if ratio > 30 {
+			t.Fatalf("%s: ratio %g implausible", r.Label, ratio)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package fec
+
+import "fmt"
+
+// Convolutional coding per the UMTS multiplexing/coding spec the paper
+// cites ([4], 3G TS 25.212): constraint length K=9, rate 1/2 with generator
+// polynomials (561, 753) octal and rate 1/3 with (557, 663, 711) octal.
+// Encoding is zero-terminated: K-1 tail bits flush the encoder so the
+// Viterbi decoder can start and end in state 0.
+
+// ConvCode describes a feed-forward convolutional code.
+type ConvCode struct {
+	name string
+	k    int      // constraint length
+	gens []uint32 // generator polynomials, MSB = current input bit
+}
+
+// NewConvCode builds a code from a constraint length and generator
+// polynomials given in octal-as-integer form (e.g. 0o561).
+func NewConvCode(name string, constraintLen int, gens ...uint32) *ConvCode {
+	if constraintLen < 2 || constraintLen > 16 {
+		panic("fec: constraint length out of range")
+	}
+	if len(gens) < 2 {
+		panic("fec: need at least two generator polynomials")
+	}
+	for _, g := range gens {
+		if g >= 1<<uint(constraintLen) {
+			panic(fmt.Sprintf("fec: generator %o too wide for K=%d", g, constraintLen))
+		}
+	}
+	gs := make([]uint32, len(gens))
+	copy(gs, gens)
+	return &ConvCode{name: name, k: constraintLen, gens: gs}
+}
+
+// UMTSConvHalf returns the UMTS K=9 rate-1/2 code.
+func UMTSConvHalf() *ConvCode { return NewConvCode("conv-r1/2-k9", 9, 0o561, 0o753) }
+
+// UMTSConvThird returns the UMTS K=9 rate-1/3 code.
+func UMTSConvThird() *ConvCode { return NewConvCode("conv-r1/3-k9", 9, 0o557, 0o663, 0o711) }
+
+// Name implements Codec.
+func (c *ConvCode) Name() string { return c.name }
+
+// Rate implements Codec (nominal, ignoring the tail).
+func (c *ConvCode) Rate() float64 { return 1 / float64(len(c.gens)) }
+
+// ConstraintLength returns K.
+func (c *ConvCode) ConstraintLength() int { return c.k }
+
+// NumStates returns the trellis state count 2^(K-1).
+func (c *ConvCode) NumStates() int { return 1 << uint(c.k-1) }
+
+// EncodedLen implements Codec: (k + K-1 tail bits) * n outputs.
+func (c *ConvCode) EncodedLen(k int) int { return (k + c.k - 1) * len(c.gens) }
+
+// parity returns the parity (XOR reduction) of x.
+func parity(x uint32) byte {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return byte(x & 1)
+}
+
+// outputs returns the n coded bits emitted for the given shift register
+// contents (register holds the current input in the MSB position).
+func (c *ConvCode) outputs(reg uint32) []byte {
+	out := make([]byte, len(c.gens))
+	for i, g := range c.gens {
+		out[i] = parity(reg & g)
+	}
+	return out
+}
+
+// Encode implements Codec: zero-terminated convolutional encoding.
+func (c *ConvCode) Encode(info []byte) []byte {
+	out := make([]byte, 0, c.EncodedLen(len(info)))
+	var reg uint32 // bits newest at MSB position k-1
+	push := func(b byte) {
+		reg = (reg >> 1) | uint32(b)<<uint(c.k-1)
+		out = append(out, c.outputs(reg)...)
+	}
+	for _, b := range info {
+		if b > 1 {
+			panic("fec: Encode input bits must be 0 or 1")
+		}
+		push(b)
+	}
+	for i := 0; i < c.k-1; i++ { // tail
+		push(0)
+	}
+	return out
+}
+
+// Decode implements Codec using soft-decision Viterbi decoding over LLRs
+// (positive ⇒ bit 0). The decoder assumes zero termination.
+func (c *ConvCode) Decode(llr []float64) []byte {
+	n := len(c.gens)
+	if len(llr)%n != 0 {
+		panic("fec: Decode LLR length not a multiple of the output count")
+	}
+	steps := len(llr) / n
+	k := steps - (c.k - 1)
+	if k < 0 {
+		panic("fec: Decode input shorter than the tail")
+	}
+	return viterbi(c, llr, steps)[:k]
+}

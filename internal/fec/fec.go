@@ -1,0 +1,112 @@
+// Package fec implements the forward error correction schemes the paper's
+// §2.3 names for the UMTS decoder-reconfiguration case study: the uncoded
+// mode, convolutional coding with Viterbi decoding, and turbo coding with
+// iterative max-log-MAP decoding, plus the CRC generators used both by the
+// codecs and by the FPGA configuration validation service.
+//
+// Bits are represented as []byte with values 0 or 1; soft values are
+// float64 log-likelihood ratios with the convention LLR > 0 ⇒ bit 0.
+package fec
+
+import "fmt"
+
+// Codec is a channel code as seen by the payload DECOD equipment. A codec
+// is the unit of decoder reconfiguration: swapping the on-board decoding
+// algorithm (§2.3 bullet 1) means loading a bitstream implementing a
+// different Codec.
+type Codec interface {
+	// Name identifies the scheme (e.g. "uncoded", "conv-r1/2-k9", "turbo").
+	Name() string
+	// Rate returns the nominal code rate k/n.
+	Rate() float64
+	// Encode maps information bits to coded bits.
+	Encode(info []byte) []byte
+	// Decode maps received soft values (one LLR per coded bit, positive
+	// meaning bit 0) back to information bits.
+	Decode(llr []float64) []byte
+	// EncodedLen returns the number of coded bits produced for k info bits.
+	EncodedLen(k int) int
+}
+
+// Uncoded is the pass-through scheme ("some transmissions can accept a
+// non-coded mode", §2.3).
+type Uncoded struct{}
+
+// Name implements Codec.
+func (Uncoded) Name() string { return "uncoded" }
+
+// Rate implements Codec.
+func (Uncoded) Rate() float64 { return 1 }
+
+// Encode implements Codec.
+func (Uncoded) Encode(info []byte) []byte {
+	out := make([]byte, len(info))
+	copy(out, info)
+	return out
+}
+
+// Decode implements Codec: hard decision on each LLR.
+func (Uncoded) Decode(llr []float64) []byte {
+	out := make([]byte, len(llr))
+	for i, l := range llr {
+		if l < 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// EncodedLen implements Codec.
+func (Uncoded) EncodedLen(k int) int { return k }
+
+// HardLLR converts hard bits to saturated LLRs (for loopback tests).
+func HardLLR(bits []byte) []float64 {
+	llr := make([]float64, len(bits))
+	for i, b := range bits {
+		if b == 0 {
+			llr[i] = 10
+		} else {
+			llr[i] = -10
+		}
+	}
+	return llr
+}
+
+// CountBitErrors returns the number of positions where a and b differ.
+// It panics if lengths differ.
+func CountBitErrors(a, b []byte) int {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("fec: CountBitErrors length mismatch %d vs %d", len(a), len(b)))
+	}
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// PackBits packs a 0/1 bit slice MSB-first into bytes, zero-padding the
+// final byte.
+func PackBits(bits []byte) []byte {
+	out := make([]byte, (len(bits)+7)/8)
+	for i, b := range bits {
+		if b != 0 {
+			out[i/8] |= 1 << (7 - uint(i%8))
+		}
+	}
+	return out
+}
+
+// UnpackBits expands bytes MSB-first into n bits (n <= 8*len(data)).
+func UnpackBits(data []byte, n int) []byte {
+	if n > 8*len(data) {
+		panic("fec: UnpackBits n exceeds available bits")
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = (data[i/8] >> (7 - uint(i%8))) & 1
+	}
+	return out
+}

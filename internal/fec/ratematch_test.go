@@ -1,0 +1,120 @@
+package fec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestPuncturePatternValidation(t *testing.T) {
+	if err := (PuncturePattern{}).Validate(); err == nil {
+		t.Fatal("empty pattern must fail")
+	}
+	if err := (PuncturePattern{false, false}).Validate(); err == nil {
+		t.Fatal("all-delete pattern must fail")
+	}
+	if err := Rate23FromHalf.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEffectiveRates(t *testing.T) {
+	if r := Rate23FromHalf.EffectiveRate(0.5); math.Abs(r-2.0/3) > 1e-12 {
+		t.Fatalf("rate 2/3 pattern gives %g", r)
+	}
+	if r := Rate34FromHalf.EffectiveRate(0.5); math.Abs(r-0.75) > 1e-12 {
+		t.Fatalf("rate 3/4 pattern gives %g", r)
+	}
+}
+
+func TestPunctureDepunctureShape(t *testing.T) {
+	coded := []byte{1, 0, 1, 1, 0, 1, 0, 0}
+	p := Rate23FromHalf
+	tx := Puncture(coded, p)
+	if len(tx) != 6 {
+		t.Fatalf("punctured length %d", len(tx))
+	}
+	llr := make([]float64, len(tx))
+	for i, b := range tx {
+		if b == 0 {
+			llr[i] = 5
+		} else {
+			llr[i] = -5
+		}
+	}
+	rec := Depuncture(llr, p, len(coded))
+	if len(rec) != len(coded) {
+		t.Fatal("depunctured length")
+	}
+	// Erased positions are zero; kept positions match sign.
+	for i := range coded {
+		if !p[i%len(p)] {
+			if rec[i] != 0 {
+				t.Fatalf("erased position %d not zero", i)
+			}
+			continue
+		}
+		want := 5.0
+		if coded[i] == 1 {
+			want = -5
+		}
+		if rec[i] != want {
+			t.Fatalf("position %d: %g want %g", i, rec[i], want)
+		}
+	}
+}
+
+func TestPuncturedRoundTripNoiseless(t *testing.T) {
+	c := UMTSConvTwoThirds()
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{10, 100, 333} {
+		info := randBits(rng, n)
+		enc := c.Encode(info)
+		if len(enc) != c.EncodedLen(n) {
+			t.Fatalf("n=%d encoded length %d want %d", n, len(enc), c.EncodedLen(n))
+		}
+		dec := c.Decode(HardLLR(enc))
+		if CountBitErrors(info, dec[:n]) != 0 {
+			t.Fatalf("n=%d punctured round trip failed", n)
+		}
+	}
+}
+
+func TestPuncturedRateOrdering(t *testing.T) {
+	// Higher-rate (more punctured) codes must perform worse at the same
+	// Eb/N0 but still beat uncoded.
+	rng := rand.New(rand.NewSource(2))
+	half := UMTSConvHalf()
+	twoThirds := UMTSConvTwoThirds()
+	const n, trials, ebn0 = 400, 25, 3.0
+	var eHalf, eTwoThirds, eUncoded int
+	for tr := 0; tr < trials; tr++ {
+		info := randBits(rng, n)
+		eHalf += CountBitErrors(info, half.Decode(noisyLLR(rng, half.Encode(info), ebn0, 0.5))[:n])
+		eTwoThirds += CountBitErrors(info, twoThirds.Decode(noisyLLR(rng, twoThirds.Encode(info), ebn0, 2.0/3))[:n])
+		eUncoded += CountBitErrors(info, Uncoded{}.Decode(noisyLLR(rng, info, ebn0, 1)))
+	}
+	if !(eHalf <= eTwoThirds && eTwoThirds < eUncoded) {
+		t.Fatalf("rate ordering: r1/2=%d r2/3=%d uncoded=%d", eHalf, eTwoThirds, eUncoded)
+	}
+}
+
+func TestPuncturedCodecMetadata(t *testing.T) {
+	c := UMTSConvTwoThirds()
+	if c.Name() != "conv-r2/3-k9p" {
+		t.Fatal("name")
+	}
+	if math.Abs(c.Rate()-2.0/3) > 1e-12 {
+		t.Fatalf("rate %g", c.Rate())
+	}
+}
+
+func TestRate34RoundTrip(t *testing.T) {
+	c := NewPunctured("conv-r3/4-k9p", UMTSConvHalf(), Rate34FromHalf)
+	rng := rand.New(rand.NewSource(3))
+	info := randBits(rng, 120)
+	dec := c.Decode(HardLLR(c.Encode(info)))
+	if CountBitErrors(info, dec[:120]) != 0 {
+		t.Fatal("rate 3/4 round trip failed")
+	}
+}

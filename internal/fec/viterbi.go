@@ -1,0 +1,97 @@
+package fec
+
+import "math"
+
+// viterbi runs soft-decision maximum-likelihood sequence decoding over the
+// trellis of c for the given number of steps, assuming the encoder started
+// and ended in the all-zero state. It returns the decoded input bit per
+// step (including tail steps).
+//
+// The trellis state is the K-1 most recent input bits (newest in the MSB);
+// for input b the full register is b<<(K-1)|state and the successor state
+// is that register shifted right by one.
+func viterbi(c *ConvCode, llr []float64, steps int) []byte {
+	n := len(c.gens)
+	states := c.NumStates()
+	const neg = math.MaxFloat64 / 4
+
+	pm := make([]float64, states) // path metrics (maximize)
+	next := make([]float64, states)
+	for i := range pm {
+		pm[i] = -neg
+	}
+	pm[0] = 0
+
+	// Precompute branch outputs and successors for every (state, input).
+	type branch struct {
+		to  int
+		out []byte
+	}
+	branches := make([][2]branch, states)
+	for s := 0; s < states; s++ {
+		for b := 0; b < 2; b++ {
+			reg := uint32(b)<<uint(c.k-1) | uint32(s)
+			branches[s][b] = branch{to: int(reg >> 1), out: c.outputs(reg)}
+		}
+	}
+
+	// survivor[t][to] = (from state << 1) | input bit
+	survivor := make([][]int32, steps)
+
+	for t := 0; t < steps; t++ {
+		for i := range next {
+			next[i] = -neg
+		}
+		sv := make([]int32, states)
+		for i := range sv {
+			sv[i] = -1
+		}
+		seg := llr[t*n : (t+1)*n]
+		for s := 0; s < states; s++ {
+			if pm[s] <= -neg {
+				continue
+			}
+			for b := 0; b < 2; b++ {
+				br := branches[s][b]
+				m := pm[s]
+				for j, e := range br.out {
+					if e == 0 {
+						m += seg[j]
+					} else {
+						m -= seg[j]
+					}
+				}
+				if m > next[br.to] {
+					next[br.to] = m
+					sv[br.to] = int32(s)<<1 | int32(b)
+				}
+			}
+		}
+		survivor[t] = sv
+		pm, next = next, pm
+	}
+
+	// Traceback from the zero state (zero-terminated encoding).
+	out := make([]byte, steps)
+	state := 0
+	if pm[0] <= -neg {
+		// Termination state unreachable (corrupted input); fall back to
+		// the best metric state.
+		best := 0
+		for s := 1; s < states; s++ {
+			if pm[s] > pm[best] {
+				best = s
+			}
+		}
+		state = best
+	}
+	for t := steps - 1; t >= 0; t-- {
+		sv := survivor[t][state]
+		if sv < 0 {
+			break
+		}
+		out[t] = byte(sv & 1)
+		state = int(sv >> 1)
+	}
+	return out
+}

@@ -1,0 +1,70 @@
+// Package frontend models the digital front end of the regenerative
+// payload receive and transmit sections shown in Fig 2 of the paper: the
+// ADC behind the RF/IF chain, the digital beam-forming network (DBFN), the
+// demultiplexer that splits the 500 MHz multi-carrier uplink into
+// individual carriers, and the DAC on the transmit side.
+package frontend
+
+import (
+	"math"
+
+	"repro/internal/dsp"
+)
+
+// ADC quantizes complex baseband samples to a given resolution, modelling
+// the converter between the payload's analog section and its digital
+// functions. Inputs beyond full scale clip, as in hardware.
+type ADC struct {
+	bits      int
+	fullScale float64
+	step      float64
+}
+
+// NewADC creates a converter with the given resolution (2..24 bits per
+// I/Q component) and full-scale amplitude.
+func NewADC(bits int, fullScale float64) *ADC {
+	if bits < 2 || bits > 24 {
+		panic("frontend: ADC bits out of range")
+	}
+	if fullScale <= 0 {
+		panic("frontend: ADC full scale must be positive")
+	}
+	return &ADC{bits: bits, fullScale: fullScale, step: 2 * fullScale / float64(int64(1)<<uint(bits))}
+}
+
+// Bits returns the converter resolution.
+func (a *ADC) Bits() int { return a.bits }
+
+// Convert quantizes a block.
+func (a *ADC) Convert(in dsp.Vec) dsp.Vec {
+	out := dsp.NewVec(len(in))
+	for i, s := range in {
+		out[i] = complex(a.q(real(s)), a.q(imag(s)))
+	}
+	return out
+}
+
+func (a *ADC) q(x float64) float64 {
+	if x > a.fullScale-a.step/2 {
+		x = a.fullScale - a.step/2
+	}
+	if x < -a.fullScale+a.step/2 {
+		x = -a.fullScale + a.step/2
+	}
+	return math.Round(x/a.step) * a.step
+}
+
+// TheoreticalSQNRdB returns the ideal quantization SNR for a full-scale
+// sine input: 6.02 b + 1.76 dB.
+func (a *ADC) TheoreticalSQNRdB() float64 { return 6.02*float64(a.bits) + 1.76 }
+
+// DAC is the transmit-side converter; in this model it is a transparent
+// quantizer at the same resolution (reconstruction filtering is part of
+// the analog section, which the simulation treats as ideal).
+type DAC struct{ adc *ADC }
+
+// NewDAC creates the converter.
+func NewDAC(bits int, fullScale float64) *DAC { return &DAC{adc: NewADC(bits, fullScale)} }
+
+// Convert quantizes a block for output.
+func (d *DAC) Convert(in dsp.Vec) dsp.Vec { return d.adc.Convert(in) }

@@ -1,0 +1,96 @@
+package frontend
+
+import "repro/internal/dsp"
+
+// Demux is the payload demultiplexer (Fig 2): it splits a wideband
+// multi-carrier uplink into per-carrier baseband streams using a bank of
+// digital down-converters, one per MF-TDMA carrier. The transmit-side
+// dual, Mux, stacks per-carrier streams back onto a wideband signal.
+
+// CarrierPlan describes the frequency plan of the multi-carrier signal:
+// n carriers spaced evenly, centred on DC, at normalized spacing
+// (cycles/sample at the wideband rate).
+type CarrierPlan struct {
+	Carriers int
+	Spacing  float64
+	Decim    int // per-carrier decimation from wideband to carrier rate
+}
+
+// DefaultCarrierPlan returns the 6-carrier plan matching the gate-count
+// example of §2.3 (timing recovery for MF-TDMA with 6 carriers).
+func DefaultCarrierPlan() CarrierPlan {
+	return CarrierPlan{Carriers: 6, Spacing: 0.125, Decim: 8}
+}
+
+// Freq returns the normalized centre frequency of carrier c.
+func (p CarrierPlan) Freq(c int) float64 {
+	return (float64(c) - float64(p.Carriers-1)/2) * p.Spacing
+}
+
+// Demux is the DDC bank.
+type Demux struct {
+	plan CarrierPlan
+	ddcs []*dsp.DDC
+}
+
+// NewDemux builds the demultiplexer; ntaps sizes each channel filter.
+func NewDemux(plan CarrierPlan, ntaps int) *Demux {
+	if plan.Carriers < 1 {
+		panic("frontend: carrier plan needs at least one carrier")
+	}
+	d := &Demux{plan: plan}
+	cutoff := plan.Spacing / 2 * 0.9 // channel filter inside the spacing
+	for c := 0; c < plan.Carriers; c++ {
+		d.ddcs = append(d.ddcs, dsp.NewDDC(plan.Freq(c), cutoff, ntaps, plan.Decim))
+	}
+	return d
+}
+
+// Plan returns the frequency plan.
+func (d *Demux) Plan() CarrierPlan { return d.plan }
+
+// Process splits a wideband block into per-carrier baseband streams.
+func (d *Demux) Process(wideband dsp.Vec) []dsp.Vec {
+	out := make([]dsp.Vec, len(d.ddcs))
+	for c, ddc := range d.ddcs {
+		out[c] = ddc.Process(wideband)
+	}
+	return out
+}
+
+// Mux is the transmit-side carrier stacker (DUC bank).
+type Mux struct {
+	plan CarrierPlan
+	ducs []*dsp.DUC
+}
+
+// NewMux builds the multiplexer with the same plan as the Demux.
+func NewMux(plan CarrierPlan, ntaps int) *Mux {
+	if plan.Carriers < 1 {
+		panic("frontend: carrier plan needs at least one carrier")
+	}
+	m := &Mux{plan: plan}
+	cutoff := plan.Spacing / 2 * 0.9
+	for c := 0; c < plan.Carriers; c++ {
+		m.ducs = append(m.ducs, dsp.NewDUC(plan.Freq(c), cutoff, ntaps, plan.Decim))
+	}
+	return m
+}
+
+// Process stacks per-carrier baseband streams (all the same length) onto
+// one wideband block.
+func (m *Mux) Process(carriers []dsp.Vec) dsp.Vec {
+	if len(carriers) != len(m.ducs) {
+		panic("frontend: carrier count mismatch")
+	}
+	var out dsp.Vec
+	for c, duc := range m.ducs {
+		v := duc.Process(carriers[c])
+		if out == nil {
+			out = v
+			continue
+		}
+		out.Add(v)
+	}
+	return out
+}

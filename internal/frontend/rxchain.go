@@ -1,0 +1,43 @@
+package frontend
+
+import "repro/internal/dsp"
+
+// RxFrontEnd composes the Fig 2 receive front end: per-element ADCs, the
+// digital beam-forming network, and the demultiplexer splitting the beam
+// signal into per-carrier baseband streams.
+type RxFrontEnd struct {
+	adc   *ADC
+	dbfn  *DBFN
+	beam  int
+	demux *Demux
+}
+
+// NewRxFrontEnd builds the chain: an n-element array at the given
+// spacing steered to beamAngle, adcBits of quantization per element, and
+// a DDC bank for the carrier plan.
+func NewRxFrontEnd(adcBits, elements int, spacing, beamAngle float64, plan CarrierPlan, ntaps int) *RxFrontEnd {
+	fe := &RxFrontEnd{
+		adc:   NewADC(adcBits, 4),
+		dbfn:  NewDBFN(elements, spacing),
+		demux: NewDemux(plan, ntaps),
+	}
+	fe.beam = fe.dbfn.AddBeam(beamAngle)
+	return fe
+}
+
+// Elements returns the expected element-stream count.
+func (fe *RxFrontEnd) Elements() int { return fe.dbfn.Elements() }
+
+// Plan returns the carrier plan.
+func (fe *RxFrontEnd) Plan() CarrierPlan { return fe.demux.Plan() }
+
+// Process converts the antenna-element sample streams into per-carrier
+// baseband: quantize each element, beamform, demultiplex.
+func (fe *RxFrontEnd) Process(elements []dsp.Vec) []dsp.Vec {
+	quantized := make([]dsp.Vec, len(elements))
+	for i, e := range elements {
+		quantized[i] = fe.adc.Convert(e)
+	}
+	beam := fe.dbfn.Form(fe.beam, quantized)
+	return fe.demux.Process(beam)
+}

@@ -1,0 +1,58 @@
+package frontend
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+func TestRxFrontEndRecoversCarriers(t *testing.T) {
+	plan := CarrierPlan{Carriers: 3, Spacing: 0.15, Decim: 4}
+	fe := NewRxFrontEnd(12, 8, 0.5, 0.2, plan, 95)
+	if fe.Elements() != 8 || fe.Plan().Carriers != 3 {
+		t.Fatal("metadata")
+	}
+
+	// Build a wideband signal with distinct DC levels per carrier.
+	mux := NewMux(plan, 95)
+	n := 512
+	carriers := make([]dsp.Vec, 3)
+	for c := range carriers {
+		carriers[c] = dsp.NewVec(n)
+		for i := range carriers[c] {
+			carriers[c][i] = complex(0.2*float64(c+1), 0)
+		}
+	}
+	wide := mux.Process(carriers)
+	elements := PlaneWave(wide, 8, 0.5, 0.2)
+
+	split := fe.Process(elements)
+	for c := range carriers {
+		tail := split[c][len(split[c])-16:]
+		want := 0.2 * float64(c+1)
+		for _, s := range tail {
+			if math.Abs(cmplx.Abs(s)-want) > 0.05 {
+				t.Fatalf("carrier %d level %g want %g", c, cmplx.Abs(s), want)
+			}
+		}
+	}
+}
+
+func TestRxFrontEndOffBeamAttenuates(t *testing.T) {
+	plan := CarrierPlan{Carriers: 1, Spacing: 0.2, Decim: 2}
+	fe := NewRxFrontEnd(12, 16, 0.5, 0.0, plan, 63)
+	sig := dsp.NewVec(256)
+	for i := range sig {
+		sig[i] = 0.5
+	}
+	inBeam := fe.Process(PlaneWave(sig, 16, 0.5, 0.0))
+	fe2 := NewRxFrontEnd(12, 16, 0.5, 0.0, plan, 63)
+	offBeam := fe2.Process(PlaneWave(sig, 16, 0.5, 0.4))
+	inP := inBeam[0][len(inBeam[0])-20:].Power()
+	offP := offBeam[0][len(offBeam[0])-20:].Power()
+	if offP > inP/10 {
+		t.Fatalf("off-beam power %g vs in-beam %g", offP, inP)
+	}
+}

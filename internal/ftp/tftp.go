@@ -1,0 +1,380 @@
+// Package ftp implements the file-handling protocols of the paper's N3
+// reconfiguration system (§3.3): a TFTP with RFC 1350 semantics (512-byte
+// blocks in lock-step over UDP — "it has to be used only for small
+// transfer for efficiency reason"), a windowed SCPS-FP/FTP-style transfer
+// over TCP for large configuration files, and a COPS-style policy
+// exchange for sending reconfiguration policies.
+package ftp
+
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/ipstack"
+	"repro/internal/sim"
+)
+
+// TFTP constants (RFC 1350).
+const (
+	TFTPPort      = 69
+	TFTPBlockSize = 512
+
+	opRRQ   = 1
+	opWRQ   = 2
+	opDATA  = 3
+	opACK   = 4
+	opERROR = 5
+)
+
+// tftp packet helpers --------------------------------------------------
+
+func tftpReq(op uint16, filename string) []byte {
+	out := make([]byte, 2, 2+len(filename)+1)
+	binary.BigEndian.PutUint16(out, op)
+	out = append(out, filename...)
+	return append(out, 0)
+}
+
+func tftpData(block uint16, data []byte) []byte {
+	out := make([]byte, 4+len(data))
+	binary.BigEndian.PutUint16(out[0:2], opDATA)
+	binary.BigEndian.PutUint16(out[2:4], block)
+	copy(out[4:], data)
+	return out
+}
+
+func tftpAck(block uint16) []byte {
+	out := make([]byte, 4)
+	binary.BigEndian.PutUint16(out[0:2], opACK)
+	binary.BigEndian.PutUint16(out[2:4], block)
+	return out
+}
+
+func tftpError(msg string) []byte {
+	out := make([]byte, 4, 5+len(msg))
+	binary.BigEndian.PutUint16(out[0:2], opERROR)
+	out = append(out, msg...)
+	return append(out, 0)
+}
+
+// TFTPServer serves a file store over UDP port 69. It supports read
+// (RRQ) and write (WRQ) transfers in strict lock-step.
+type TFTPServer struct {
+	s     *sim.Simulator
+	node  *ipstack.Node
+	files map[string][]byte
+
+	// OnStored is invoked when a write transfer completes.
+	OnStored func(name string, data []byte)
+
+	// active write transfers keyed by client address/port
+	writes map[string]*tftpWrite
+	reads  map[string]*tftpRead
+}
+
+type tftpWrite struct {
+	name     string
+	data     []byte
+	expected uint16
+	done     bool
+}
+
+type tftpRead struct {
+	name  string
+	data  []byte
+	block uint16 // last block sent
+	done  bool
+}
+
+// NewTFTPServer binds the server on the node.
+func NewTFTPServer(s *sim.Simulator, node *ipstack.Node) *TFTPServer {
+	srv := &TFTPServer{
+		s:      s,
+		node:   node,
+		files:  make(map[string][]byte),
+		writes: make(map[string]*tftpWrite),
+		reads:  make(map[string]*tftpRead),
+	}
+	node.BindUDP(TFTPPort, srv.handle)
+	return srv
+}
+
+// Store preloads a file (for read transfers).
+func (srv *TFTPServer) Store(name string, data []byte) {
+	srv.files[name] = append([]byte{}, data...)
+}
+
+// File returns a stored file.
+func (srv *TFTPServer) File(name string) ([]byte, bool) {
+	d, ok := srv.files[name]
+	return d, ok
+}
+
+func clientKey(src ipstack.Addr, port uint16) string {
+	return src.String() + ":" + itoa(int(port))
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func (srv *TFTPServer) handle(src ipstack.Addr, srcPort uint16, data []byte) {
+	if len(data) < 2 {
+		return
+	}
+	op := binary.BigEndian.Uint16(data[0:2])
+	key := clientKey(src, srcPort)
+	reply := func(pkt []byte) { srv.node.SendUDP(src, TFTPPort, srcPort, pkt) }
+
+	switch op {
+	case opWRQ:
+		name, ok := parseName(data[2:])
+		if !ok {
+			reply(tftpError("bad request"))
+			return
+		}
+		srv.writes[key] = &tftpWrite{name: name, expected: 1}
+		reply(tftpAck(0))
+	case opDATA:
+		w, ok := srv.writes[key]
+		if !ok || w.done {
+			return
+		}
+		if len(data) < 4 {
+			return
+		}
+		block := binary.BigEndian.Uint16(data[2:4])
+		payload := data[4:]
+		if block == w.expected {
+			w.data = append(w.data, payload...)
+			w.expected++
+			if len(payload) < TFTPBlockSize {
+				w.done = true
+				srv.files[w.name] = w.data
+				if srv.OnStored != nil {
+					srv.OnStored(w.name, w.data)
+				}
+			}
+		}
+		// Ack the last in-order block (handles duplicates).
+		reply(tftpAck(w.expected - 1))
+	case opRRQ:
+		name, ok := parseName(data[2:])
+		if !ok {
+			reply(tftpError("bad request"))
+			return
+		}
+		file, exists := srv.files[name]
+		if !exists {
+			reply(tftpError("file not found"))
+			return
+		}
+		r := &tftpRead{name: name, data: file, block: 1}
+		srv.reads[key] = r
+		reply(tftpData(1, r.chunk(1)))
+	case opACK:
+		r, ok := srv.reads[key]
+		if !ok || r.done || len(data) < 4 {
+			return
+		}
+		block := binary.BigEndian.Uint16(data[2:4])
+		if block != r.block {
+			return
+		}
+		// Total blocks per RFC 1350: a final short (possibly empty)
+		// block terminates the transfer.
+		nblocks := uint16(len(r.data)/TFTPBlockSize + 1)
+		if block == nblocks {
+			r.done = true
+			return
+		}
+		r.block++
+		reply(tftpData(r.block, r.chunk(r.block)))
+	}
+}
+
+func (r *tftpRead) chunk(block uint16) []byte {
+	start := (int(block) - 1) * TFTPBlockSize
+	end := start + TFTPBlockSize
+	if end > len(r.data) {
+		end = len(r.data)
+	}
+	if start > len(r.data) {
+		return nil
+	}
+	return r.data[start:end]
+}
+
+func parseName(b []byte) (string, bool) {
+	for i, c := range b {
+		if c == 0 {
+			return string(b[:i]), i > 0
+		}
+	}
+	return "", false
+}
+
+// TFTPClient drives transfers against a server.
+type TFTPClient struct {
+	s      *sim.Simulator
+	node   *ipstack.Node
+	server ipstack.Addr
+	port   uint16
+
+	timeout float64
+	retries int
+
+	put *putState
+	get *getState
+
+	Retransmissions int
+}
+
+type putState struct {
+	name  string
+	data  []byte
+	block uint16 // next block to send after ack of block-1
+	done  func(err error)
+	fin   bool
+	timer int
+}
+
+type getState struct {
+	name  string
+	data  []byte
+	next  uint16
+	done  func(data []byte, err error)
+	fin   bool
+	timer int
+}
+
+// NewTFTPClient creates a client bound to a local UDP port.
+func NewTFTPClient(s *sim.Simulator, node *ipstack.Node, server ipstack.Addr, localPort uint16) *TFTPClient {
+	c := &TFTPClient{s: s, node: node, server: server, port: localPort, timeout: 1.0, retries: 8}
+	node.BindUDP(localPort, c.handle)
+	return c
+}
+
+// Put uploads a file (WRQ); done fires on completion or failure.
+func (c *TFTPClient) Put(name string, data []byte, done func(err error)) {
+	c.put = &putState{name: name, data: data, block: 0, done: done}
+	c.sendReq(tftpReq(opWRQ, name))
+}
+
+// Get downloads a file (RRQ).
+func (c *TFTPClient) Get(name string, done func(data []byte, err error)) {
+	c.get = &getState{name: name, next: 1, done: done}
+	c.sendReq(tftpReq(opRRQ, name))
+}
+
+func (c *TFTPClient) sendReq(pkt []byte) {
+	c.node.SendUDP(c.server, c.port, TFTPPort, pkt)
+	c.armPutTimer(pkt, c.retries)
+}
+
+// armPutTimer retransmits the given packet until superseded.
+func (c *TFTPClient) armPutTimer(pkt []byte, retries int) {
+	var timerOwner *int
+	if c.put != nil {
+		c.put.timer++
+		timerOwner = &c.put.timer
+	} else if c.get != nil {
+		c.get.timer++
+		timerOwner = &c.get.timer
+	} else {
+		return
+	}
+	id := *timerOwner
+	c.s.Schedule(c.timeout, func() {
+		if timerOwner != nil && *timerOwner == id && retries > 0 {
+			if (c.put != nil && !c.put.fin) || (c.get != nil && !c.get.fin) {
+				c.Retransmissions++
+				c.node.SendUDP(c.server, c.port, TFTPPort, pkt)
+				c.armPutTimer(pkt, retries-1)
+			}
+		}
+	})
+}
+
+func (c *TFTPClient) handle(src ipstack.Addr, srcPort uint16, data []byte) {
+	if len(data) < 2 {
+		return
+	}
+	op := binary.BigEndian.Uint16(data[0:2])
+	switch op {
+	case opACK:
+		p := c.put
+		if p == nil || p.fin || len(data) < 4 {
+			return
+		}
+		block := binary.BigEndian.Uint16(data[2:4])
+		if block != p.block {
+			return
+		}
+		nblocks := uint16(len(p.data)/TFTPBlockSize + 1)
+		if block == nblocks {
+			// The final short (possibly empty) block was acknowledged.
+			p.fin = true
+			p.timer++
+			if p.done != nil {
+				p.done(nil)
+			}
+			return
+		}
+		p.block++
+		start := (int(p.block) - 1) * TFTPBlockSize
+		end := start + TFTPBlockSize
+		if end > len(p.data) {
+			end = len(p.data)
+		}
+		pkt := tftpData(p.block, p.data[start:end])
+		c.node.SendUDP(c.server, c.port, TFTPPort, pkt)
+		c.armPutTimer(pkt, c.retries)
+	case opDATA:
+		g := c.get
+		if g == nil || g.fin {
+			return
+		}
+		block := binary.BigEndian.Uint16(data[2:4])
+		payload := data[4:]
+		if block == g.next {
+			g.data = append(g.data, payload...)
+			g.next++
+			if len(payload) < TFTPBlockSize {
+				g.fin = true
+				g.timer++
+				c.node.SendUDP(c.server, c.port, TFTPPort, tftpAck(block))
+				if g.done != nil {
+					g.done(g.data, nil)
+				}
+				return
+			}
+		}
+		ack := tftpAck(g.next - 1)
+		c.node.SendUDP(c.server, c.port, TFTPPort, ack)
+		c.armPutTimer(ack, c.retries)
+	case opERROR:
+		if c.put != nil && !c.put.fin {
+			c.put.fin = true
+			if c.put.done != nil {
+				c.put.done(errors.New("ftp: server error"))
+			}
+		}
+		if c.get != nil && !c.get.fin {
+			c.get.fin = true
+			if c.get.done != nil {
+				c.get.done(nil, errors.New("ftp: server error"))
+			}
+		}
+	}
+}

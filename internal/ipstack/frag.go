@@ -1,0 +1,114 @@
+package ipstack
+
+import "sort"
+
+// IP fragmentation and reassembly. The TC transfer frame bounds what one
+// link-layer send can carry (tmtc.MaxFrameData); datagrams larger than
+// the interface MTU are split into fragments and reassembled at the
+// receiving node, as in IPv4. Fragment metadata rides in a small
+// extension header prepended to the payload of ProtoFrag packets:
+//
+//	id(2) | offset(2) | more(1) | inner proto(1)
+const fragHeaderLen = 6
+
+// ProtoFrag marks a fragment of a larger datagram.
+const ProtoFrag byte = 44
+
+// DefaultMTU is the largest packet payload the underlying frame carries
+// (tmtc.MaxFrameData minus the IP header).
+const DefaultMTU = 999
+
+// fragKey identifies a reassembly context.
+type fragKey struct {
+	src Addr
+	id  uint16
+}
+
+type fragBuf struct {
+	frags map[int][]byte // offset -> data
+	total int            // known total length (-1 until last fragment seen)
+	proto byte
+}
+
+// sendMaybeFragmented transmits p, splitting its payload into fragments
+// when it exceeds the MTU.
+func (n *Node) sendMaybeFragmented(p *Packet) {
+	if len(p.Payload) <= n.MTU {
+		n.TxPackets++
+		n.iface.SendFunc(p.Marshal())
+		return
+	}
+	n.fragID++
+	id := n.fragID
+	chunk := n.MTU - fragHeaderLen
+	for off := 0; off < len(p.Payload); off += chunk {
+		end := off + chunk
+		more := byte(1)
+		if end >= len(p.Payload) {
+			end = len(p.Payload)
+			more = 0
+		}
+		hdr := []byte{
+			byte(id >> 8), byte(id),
+			byte(off >> 8), byte(off),
+			more, p.Proto,
+		}
+		frag := &Packet{
+			Src: p.Src, Dst: p.Dst, Proto: ProtoFrag, TTL: p.TTL,
+			Payload: append(hdr, p.Payload[off:end]...),
+		}
+		n.TxPackets++
+		n.iface.SendFunc(frag.Marshal())
+	}
+}
+
+// handleFragment stores a fragment and returns the reassembled packet
+// when complete, or nil.
+func (n *Node) handleFragment(p *Packet) *Packet {
+	if len(p.Payload) < fragHeaderLen {
+		n.RxDropped++
+		return nil
+	}
+	id := uint16(p.Payload[0])<<8 | uint16(p.Payload[1])
+	off := int(p.Payload[2])<<8 | int(p.Payload[3])
+	more := p.Payload[4]
+	proto := p.Payload[5]
+	data := p.Payload[fragHeaderLen:]
+
+	key := fragKey{src: p.Src, id: id}
+	buf, ok := n.frags[key]
+	if !ok {
+		buf = &fragBuf{frags: make(map[int][]byte), total: -1}
+		n.frags[key] = buf
+	}
+	buf.frags[off] = data
+	buf.proto = proto
+	if more == 0 {
+		buf.total = off + len(data)
+	}
+	if buf.total < 0 {
+		return nil
+	}
+	// Check completeness.
+	offsets := make([]int, 0, len(buf.frags))
+	for o := range buf.frags {
+		offsets = append(offsets, o)
+	}
+	sort.Ints(offsets)
+	covered := 0
+	for _, o := range offsets {
+		if o != covered {
+			return nil // gap
+		}
+		covered += len(buf.frags[o])
+	}
+	if covered != buf.total {
+		return nil
+	}
+	payload := make([]byte, 0, buf.total)
+	for _, o := range offsets {
+		payload = append(payload, buf.frags[o]...)
+	}
+	delete(n.frags, key)
+	return &Packet{Src: p.Src, Dst: p.Dst, Proto: buf.proto, TTL: p.TTL, Payload: payload}
+}

@@ -1,0 +1,101 @@
+package ipstack
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestFragmentationRoundTrip(t *testing.T) {
+	s := sim.New()
+	ncc, sat := twoNodes(s, 0, 21)
+	big := make([]byte, 5000) // far beyond the 999-byte MTU
+	rand.New(rand.NewSource(22)).Read(big)
+	var got []byte
+	sat.BindUDP(69, func(_ Addr, _ uint16, d []byte) { got = d })
+	ncc.SendUDP(sat.Addr(), 1, 69, big)
+	s.Run()
+	if !bytes.Equal(got, big) {
+		t.Fatalf("reassembly failed: got %d want %d bytes", len(got), len(big))
+	}
+	// Multiple fragments must have been sent.
+	if ncc.TxPackets < 5 {
+		t.Fatalf("only %d packets sent", ncc.TxPackets)
+	}
+}
+
+func TestFragmentationWithIPsec(t *testing.T) {
+	s := sim.New()
+	ncc, sat := twoNodes(s, 0, 23)
+	saA, saB, err := PairedSAs(make([]byte, 16), []byte("k"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ncc.EnableIPsec(saA)
+	sat.EnableIPsec(saB)
+	big := make([]byte, 3000)
+	rand.New(rand.NewSource(24)).Read(big)
+	var got []byte
+	sat.BindUDP(69, func(_ Addr, _ uint16, d []byte) { got = d })
+	ncc.SendUDP(sat.Addr(), 1, 69, big)
+	s.Run()
+	if !bytes.Equal(got, big) {
+		t.Fatalf("ESP+frag reassembly failed: %d vs %d", len(got), len(big))
+	}
+}
+
+func TestFragmentLossLeavesGap(t *testing.T) {
+	// With packet loss, an incomplete datagram must never be delivered
+	// corrupted — it is simply never delivered.
+	s := sim.New()
+	ncc, sat := twoNodes(s, 0.3, 25)
+	big := make([]byte, 8000)
+	rand.New(rand.NewSource(26)).Read(big)
+	delivered := false
+	sat.BindUDP(69, func(_ Addr, _ uint16, d []byte) {
+		delivered = true
+		if !bytes.Equal(d, big) {
+			t.Fatal("corrupted reassembly delivered")
+		}
+	})
+	for i := 0; i < 5; i++ {
+		ncc.SendUDP(sat.Addr(), 1, 69, big)
+	}
+	s.Run()
+	_ = delivered // delivery is luck-dependent; corruption is the failure
+}
+
+func TestInterleavedFragmentStreams(t *testing.T) {
+	// Two large datagrams in flight concurrently must reassemble
+	// independently (distinct fragment IDs).
+	s := sim.New()
+	ncc, sat := twoNodes(s, 0, 27)
+	a := bytes.Repeat([]byte{0xAA}, 2500)
+	b := bytes.Repeat([]byte{0xBB}, 2500)
+	var got [][]byte
+	sat.BindUDP(69, func(_ Addr, _ uint16, d []byte) {
+		got = append(got, append([]byte{}, d...))
+	})
+	ncc.SendUDP(sat.Addr(), 1, 69, a)
+	ncc.SendUDP(sat.Addr(), 2, 69, b)
+	s.Run()
+	if len(got) != 2 {
+		t.Fatalf("delivered %d datagrams", len(got))
+	}
+	if !bytes.Equal(got[0], a) || !bytes.Equal(got[1], b) {
+		t.Fatal("interleaved streams mixed up")
+	}
+}
+
+func TestSmallPacketsNotFragmented(t *testing.T) {
+	s := sim.New()
+	ncc, sat := twoNodes(s, 0, 28)
+	sat.BindUDP(69, func(_ Addr, _ uint16, d []byte) {})
+	ncc.SendUDP(sat.Addr(), 1, 69, make([]byte, 100))
+	s.Run()
+	if ncc.TxPackets != 1 {
+		t.Fatalf("small datagram sent as %d packets", ncc.TxPackets)
+	}
+}

@@ -1,0 +1,100 @@
+package modem
+
+import (
+	"math"
+	"math/cmplx"
+
+	"repro/internal/dsp"
+)
+
+// Carrier recovery for the TDMA burst demodulator. Two schemes are
+// provided: a feedforward fourth-power (Viterbi&Viterbi-style) block
+// estimator suited to short bursts, and a decision-directed phase-locked
+// loop for continuous operation.
+
+// FourthPowerPhase estimates the common carrier phase of a QPSK symbol
+// block modulo pi/2 by removing the modulation with a fourth power:
+//
+//	phi = arg( sum s^4 ) / 4  -  pi/4
+//
+// The pi/4 term accounts for the QPSK constellation sitting on the
+// diagonals. The remaining pi/2 ambiguity must be resolved by a known
+// pattern (the burst unique word).
+func FourthPowerPhase(syms dsp.Vec) float64 {
+	var acc complex128
+	for _, s := range syms {
+		s2 := s * s
+		acc += s2 * s2
+	}
+	return cmplx.Phase(acc)/4 - math.Pi/4
+}
+
+// Derotate applies a constant phase correction of -phi to the block.
+func Derotate(syms dsp.Vec, phi float64) dsp.Vec {
+	rot := cmplx.Exp(complex(0, -phi))
+	out := dsp.NewVec(len(syms))
+	for i, s := range syms {
+		out[i] = s * rot
+	}
+	return out
+}
+
+// ResolveQPSKAmbiguity finds the k in {0,1,2,3} such that rotating the
+// received unique-word symbols by k*pi/2 best matches the reference, and
+// returns that rotation in radians. rx must be at least as long as ref.
+func ResolveQPSKAmbiguity(rx, ref dsp.Vec) float64 {
+	best, bestMetric := 0.0, math.Inf(-1)
+	for k := 0; k < 4; k++ {
+		phi := float64(k) * math.Pi / 2
+		rot := cmplx.Exp(complex(0, phi))
+		var metric float64
+		for i := range ref {
+			metric += real(rx[i] * rot * cmplx.Conj(ref[i]))
+		}
+		if metric > bestMetric {
+			bestMetric = metric
+			best = phi
+		}
+	}
+	return best
+}
+
+// CostasLoop is a decision-directed QPSK phase tracking loop for
+// continuous (non-burst) operation.
+type CostasLoop struct {
+	kp, ki float64
+	phase  float64
+	freq   float64
+}
+
+// NewCostas builds a loop with the given proportional and integral gains.
+func NewCostas(kp, ki float64) *CostasLoop {
+	return &CostasLoop{kp: kp, ki: ki}
+}
+
+// Phase returns the current phase estimate in radians.
+func (c *CostasLoop) Phase() float64 { return c.phase }
+
+// Process derotates each symbol by the loop phase and updates the loop
+// with the decision-directed error.
+func (c *CostasLoop) Process(in dsp.Vec) dsp.Vec {
+	out := dsp.NewVec(len(in))
+	for i, s := range in {
+		y := s * cmplx.Exp(complex(0, -c.phase))
+		out[i] = y
+		// Decision-directed error: angle between y and nearest QPSK point.
+		d := complex(sign(real(y)), sign(imag(y)))
+		e := cmplx.Phase(y * cmplx.Conj(d))
+		c.freq += c.ki * e
+		c.phase += c.kp*e + c.freq
+		c.phase = math.Mod(c.phase, 2*math.Pi)
+	}
+	return out
+}
+
+func sign(x float64) float64 {
+	if x < 0 {
+		return -1
+	}
+	return 1
+}

@@ -1,0 +1,48 @@
+package modem
+
+import (
+	"math"
+	"math/cmplx"
+
+	"repro/internal/dsp"
+)
+
+// Carrier frequency estimation for burst demodulation. A residual
+// frequency offset rotates the constellation across the burst; for
+// offsets beyond what the data-aided UW phase can absorb, a non-data-
+// aided estimate is applied first. The estimator removes the QPSK
+// modulation with a fourth power and measures the mean phase increment
+// (delay-and-multiply), a standard feedforward technique for the burst
+// regime the paper's MF-TDMA demodulator operates in.
+
+// EstimateFrequencyQPSK returns the frequency offset in cycles/symbol
+// estimated from symbol-rate samples, unambiguous within ±1/8
+// cycle/symbol (the fourth power multiplies the rotation by 4).
+func EstimateFrequencyQPSK(syms dsp.Vec) float64 {
+	if len(syms) < 2 {
+		return 0
+	}
+	var acc complex128
+	prev := qpow4(syms[0])
+	for i := 1; i < len(syms); i++ {
+		cur := qpow4(syms[i])
+		acc += cur * cmplx.Conj(prev)
+		prev = cur
+	}
+	return cmplx.Phase(acc) / (4 * 2 * math.Pi)
+}
+
+func qpow4(s complex128) complex128 {
+	s2 := s * s
+	return s2 * s2
+}
+
+// CorrectFrequency derotates a symbol stream by the given offset in
+// cycles/symbol.
+func CorrectFrequency(syms dsp.Vec, freq float64) dsp.Vec {
+	out := dsp.NewVec(len(syms))
+	for i, s := range syms {
+		out[i] = s * cmplx.Exp(complex(0, -2*math.Pi*freq*float64(i)))
+	}
+	return out
+}

@@ -1,0 +1,110 @@
+package modem
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+func TestFrequencyEstimateKnownOffsets(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	syms := QPSK.Map(randBits(rng, 2*512))
+	for _, f := range []float64{0, 0.01, -0.02, 0.05} {
+		rot := CorrectFrequency(syms, -f) // apply +f rotation
+		got := EstimateFrequencyQPSK(rot)
+		if math.Abs(got-f) > 0.002 {
+			t.Fatalf("f=%g: estimate %g", f, got)
+		}
+	}
+}
+
+func TestFrequencyEstimateUnderNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	syms := QPSK.Map(randBits(rng, 2*1024))
+	f := 0.03
+	rot := CorrectFrequency(syms, -f)
+	ch := dsp.NewChannelWith(3, 13, 1)
+	noisy := ch.Apply(rot)
+	got := EstimateFrequencyQPSK(noisy)
+	if math.Abs(got-f) > 0.005 {
+		t.Fatalf("noisy estimate %g want %g", got, f)
+	}
+}
+
+func TestCorrectFrequencyInverts(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	syms := QPSK.Map(randBits(rng, 2*64))
+	rot := CorrectFrequency(syms, -0.04)
+	rec := CorrectFrequency(rot, 0.04)
+	for i := range syms {
+		d := rec[i] - syms[i]
+		if real(d)*real(d)+imag(d)*imag(d) > 1e-18 {
+			t.Fatalf("round trip at %d", i)
+		}
+	}
+}
+
+func TestFrequencyEstimateEdgeCases(t *testing.T) {
+	if EstimateFrequencyQPSK(dsp.Vec{}) != 0 || EstimateFrequencyQPSK(dsp.Vec{1}) != 0 {
+		t.Fatal("degenerate inputs must give 0")
+	}
+}
+
+func TestEndToEndWithFrequencyCorrection(t *testing.T) {
+	// A burst with a frequency offset too large for UW-phase-only
+	// recovery demodulates cleanly after feedforward correction.
+	rng := rand.New(rand.NewSource(5))
+	f := DefaultBurstFormat(200)
+	mod := NewBurstModulator(f, 0.35, 4, 10)
+	payload := randBits(rng, f.PayloadBits())
+	tx := mod.Modulate(payload)
+	ch := dsp.NewChannelWith(6, 18, 4)
+	const symbolFreq = 0.008 // cycles/symbol
+	ch.FreqOffset = symbolFreq / 4
+	rx := ch.Apply(tx)
+
+	// Timing recovery first (rotation-invariant), then frequency.
+	mf := dsp.NewMatchedFilter(0.35, 4, 10)
+	om := NewOerderMeyr(4)
+	syms, _ := om.Recover(mf.Process(rx))
+	est := EstimateFrequencyQPSK(syms)
+	if math.Abs(est-symbolFreq) > 0.002 {
+		t.Fatalf("frequency estimate %g want %g", est, symbolFreq)
+	}
+	corrected := CorrectFrequency(syms, est)
+
+	// UW search on the corrected stream.
+	uw := f.UWSymbols()
+	bestOff, bestMag := -1, 0.0
+	var bestCorr complex128
+	for off := 0; off+len(uw)+f.PayloadLen <= len(corrected); off++ {
+		var acc complex128
+		for i := range uw {
+			acc += corrected[off+i] * complexConj(uw[i])
+		}
+		if m := cmagn(acc); m > bestMag {
+			bestMag, bestOff, bestCorr = m, off, acc
+		}
+	}
+	if bestOff < 0 {
+		t.Fatal("UW not found")
+	}
+	phase := cphase(bestCorr)
+	data := Derotate(corrected[bestOff+len(uw):bestOff+len(uw)+f.PayloadLen], phase)
+	got := HardBits(QPSK.Demap(data, 1))
+	errs := 0
+	for i := range payload {
+		if got[i] != payload[i] {
+			errs++
+		}
+	}
+	if errs > 3 {
+		t.Fatalf("%d errors after frequency correction", errs)
+	}
+}
+
+func complexConj(c complex128) complex128 { return complex(real(c), -imag(c)) }
+func cmagn(c complex128) float64          { return math.Hypot(real(c), imag(c)) }
+func cphase(c complex128) float64         { return math.Atan2(imag(c), real(c)) }

@@ -1,0 +1,105 @@
+// Package modem implements the MF-TDMA burst demodulator that the paper's
+// waveform-migration case study reconfigures to (§2.3, Fig 3): PSK mapping,
+// the Gardner timing error detector [5] and the Oerder-Meyr square timing
+// estimator [6] (the two timing-recovery options the paper cites, chosen by
+// burst length), feedforward and decision-directed carrier recovery, the
+// burst format with preamble and unique word, and MF-TDMA framing.
+package modem
+
+import (
+	"math"
+
+	"repro/internal/dsp"
+)
+
+// Modulation identifies a PSK constellation.
+type Modulation int
+
+// Supported constellations.
+const (
+	BPSK Modulation = iota
+	QPSK
+)
+
+// BitsPerSymbol returns 1 for BPSK and 2 for QPSK.
+func (m Modulation) BitsPerSymbol() int {
+	if m == BPSK {
+		return 1
+	}
+	return 2
+}
+
+// String implements fmt.Stringer.
+func (m Modulation) String() string {
+	if m == BPSK {
+		return "BPSK"
+	}
+	return "QPSK"
+}
+
+// Map converts bits to unit-power Gray-mapped symbols. For QPSK the bit
+// count must be even.
+func (m Modulation) Map(bits []byte) dsp.Vec {
+	switch m {
+	case BPSK:
+		out := dsp.NewVec(len(bits))
+		for i, b := range bits {
+			if b == 0 {
+				out[i] = 1
+			} else {
+				out[i] = -1
+			}
+		}
+		return out
+	case QPSK:
+		if len(bits)%2 != 0 {
+			panic("modem: QPSK Map needs an even number of bits")
+		}
+		s := 1 / math.Sqrt2
+		out := dsp.NewVec(len(bits) / 2)
+		for i := range out {
+			re, im := s, s
+			if bits[2*i] == 1 {
+				re = -s
+			}
+			if bits[2*i+1] == 1 {
+				im = -s
+			}
+			out[i] = complex(re, im)
+		}
+		return out
+	}
+	panic("modem: unknown modulation")
+}
+
+// Demap produces one soft value per bit (positive ⇒ bit 0), scaled by
+// scale (use 1 for normalized symbols).
+func (m Modulation) Demap(syms dsp.Vec, scale float64) []float64 {
+	switch m {
+	case BPSK:
+		out := make([]float64, len(syms))
+		for i, s := range syms {
+			out[i] = real(s) * scale
+		}
+		return out
+	case QPSK:
+		out := make([]float64, 2*len(syms))
+		for i, s := range syms {
+			out[2*i] = real(s) * scale * math.Sqrt2
+			out[2*i+1] = imag(s) * scale * math.Sqrt2
+		}
+		return out
+	}
+	panic("modem: unknown modulation")
+}
+
+// HardBits slices soft values into bits.
+func HardBits(soft []float64) []byte {
+	out := make([]byte, len(soft))
+	for i, s := range soft {
+		if s < 0 {
+			out[i] = 1
+		}
+	}
+	return out
+}

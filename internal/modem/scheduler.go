@@ -1,0 +1,87 @@
+package modem
+
+import "fmt"
+
+// SlotScheduler allocates MF-TDMA (carrier, slot) cells to terminals —
+// the resource-assignment function the NCC performs for the return link.
+// Allocation is first-fit by carrier then slot; a terminal may hold
+// several cells (higher rate), and cells are returned on release.
+type SlotScheduler struct {
+	cfg   FrameConfig
+	owner [][]string // [carrier][slot] -> terminal id ("" = free)
+	held  map[string][]SlotAssignment
+}
+
+// NewSlotScheduler creates an empty plan for the frame configuration.
+func NewSlotScheduler(cfg FrameConfig) *SlotScheduler {
+	s := &SlotScheduler{cfg: cfg, held: make(map[string][]SlotAssignment)}
+	s.owner = make([][]string, cfg.Carriers)
+	for c := range s.owner {
+		s.owner[c] = make([]string, cfg.Slots)
+	}
+	return s
+}
+
+// Capacity returns the total cell count per frame.
+func (s *SlotScheduler) Capacity() int { return s.cfg.Carriers * s.cfg.Slots }
+
+// Allocated returns the number of assigned cells.
+func (s *SlotScheduler) Allocated() int {
+	n := 0
+	for _, row := range s.owner {
+		for _, t := range row {
+			if t != "" {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// Request allocates n cells to the terminal, returning the assignments
+// or an error when the frame is full.
+func (s *SlotScheduler) Request(terminal string, n int) ([]SlotAssignment, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("modem: request of %d cells", n)
+	}
+	if s.Capacity()-s.Allocated() < n {
+		return nil, fmt.Errorf("modem: frame full (%d/%d allocated)", s.Allocated(), s.Capacity())
+	}
+	var out []SlotAssignment
+	for c := 0; c < s.cfg.Carriers && len(out) < n; c++ {
+		for sl := 0; sl < s.cfg.Slots && len(out) < n; sl++ {
+			if s.owner[c][sl] == "" {
+				s.owner[c][sl] = terminal
+				out = append(out, SlotAssignment{Carrier: c, Slot: sl})
+			}
+		}
+	}
+	s.held[terminal] = append(s.held[terminal], out...)
+	return out, nil
+}
+
+// Release frees every cell held by the terminal.
+func (s *SlotScheduler) Release(terminal string) int {
+	cells := s.held[terminal]
+	for _, a := range cells {
+		s.owner[a.Carrier][a.Slot] = ""
+	}
+	delete(s.held, terminal)
+	return len(cells)
+}
+
+// Owner returns the terminal holding a cell ("" if free).
+func (s *SlotScheduler) Owner(a SlotAssignment) string {
+	return s.owner[a.Carrier][a.Slot]
+}
+
+// Holdings returns the cells held by a terminal.
+func (s *SlotScheduler) Holdings(terminal string) []SlotAssignment {
+	return append([]SlotAssignment{}, s.held[terminal]...)
+}
+
+// TerminalRateBps returns the information rate a terminal gets from its
+// held cells, given the burst payload bits and frame duration in seconds.
+func (s *SlotScheduler) TerminalRateBps(terminal string, payloadBits int, frameSeconds float64) float64 {
+	return float64(len(s.held[terminal])*payloadBits) / frameSeconds
+}

@@ -1,0 +1,96 @@
+package modem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSchedulerAllocateRelease(t *testing.T) {
+	cfg := FrameConfig{Carriers: 2, Slots: 3, SlotSymbols: 100, GuardSymbols: 8}
+	s := NewSlotScheduler(cfg)
+	if s.Capacity() != 6 {
+		t.Fatal("capacity")
+	}
+	a, err := s.Request("term-1", 2)
+	if err != nil || len(a) != 2 {
+		t.Fatalf("request: %v %v", a, err)
+	}
+	if s.Owner(a[0]) != "term-1" || s.Allocated() != 2 {
+		t.Fatal("ownership")
+	}
+	b, err := s.Request("term-2", 4)
+	if err != nil || len(b) != 4 {
+		t.Fatalf("second request: %v", err)
+	}
+	// No overlap.
+	seen := map[SlotAssignment]bool{}
+	for _, x := range append(a, b...) {
+		if seen[x] {
+			t.Fatalf("cell %v double-booked", x)
+		}
+		seen[x] = true
+	}
+	// Full.
+	if _, err := s.Request("term-3", 1); err == nil {
+		t.Fatal("over-allocation accepted")
+	}
+	if s.Release("term-1") != 2 || s.Allocated() != 4 {
+		t.Fatal("release")
+	}
+	if _, err := s.Request("term-3", 2); err != nil {
+		t.Fatalf("reuse after release: %v", err)
+	}
+}
+
+func TestSchedulerRate(t *testing.T) {
+	cfg := DefaultFrameConfig()
+	s := NewSlotScheduler(cfg)
+	s.Request("t", 4)
+	frameSeconds := float64(cfg.Slots*cfg.SlotSymbols) / float64(SymbolRateTDMA)
+	rate := s.TerminalRateBps("t", 400, frameSeconds)
+	// 4 cells x 400 bits per 4 ms frame = 400 kbps.
+	if rate < 300_000 || rate > 500_000 {
+		t.Fatalf("rate %g", rate)
+	}
+}
+
+func TestSchedulerInvalidRequest(t *testing.T) {
+	s := NewSlotScheduler(DefaultFrameConfig())
+	if _, err := s.Request("t", 0); err == nil {
+		t.Fatal("zero-cell request accepted")
+	}
+}
+
+func TestPropertySchedulerNeverDoubleBooks(t *testing.T) {
+	f := func(reqs []uint8) bool {
+		cfg := FrameConfig{Carriers: 3, Slots: 4, SlotSymbols: 10, GuardSymbols: 1}
+		s := NewSlotScheduler(cfg)
+		seen := map[SlotAssignment]string{}
+		for i, r := range reqs {
+			n := int(r%4) + 1
+			term := string(rune('a' + i%20))
+			cells, err := s.Request(term, n)
+			if err != nil {
+				continue
+			}
+			for _, c := range cells {
+				if prev, taken := seen[c]; taken && prev != "" {
+					return false
+				}
+				seen[c] = term
+			}
+			if i%3 == 2 {
+				s.Release(term)
+				for c, owner := range seen {
+					if owner == term {
+						delete(seen, c)
+					}
+				}
+			}
+		}
+		return s.Allocated() == len(seen)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,70 @@
+package obc
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/fpga"
+)
+
+// TestPropertyDeltaAppliesToTarget: for random configuration pairs, the
+// delta built from A to B, applied frame by frame onto a device loaded
+// with A, always yields exactly B's configuration CRC.
+func TestPropertyDeltaAppliesToTarget(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := fpga.NewBitstream("a", 8, 8)
+		b := fpga.NewBitstream("b", 8, 8)
+		rng.Read(a.Frames)
+		copy(b.Frames, a.Frames)
+		// Perturb a random subset of b's frames.
+		for i := 0; i < 1+rng.Intn(10); i++ {
+			off := rng.Intn(len(b.Frames))
+			b.Frames[off] ^= byte(1 + rng.Intn(255))
+		}
+		d, err := BuildDelta(a, b)
+		if err != nil {
+			return false
+		}
+		dev := fpga.NewDevice("p", 8, 8)
+		if dev.FullLoad(a) != nil {
+			return false
+		}
+		dev.PowerOn()
+		for _, w := range d.Writes {
+			dev.PartialWrite(w.Row, w.Col, w.Frame)
+		}
+		return dev.ConfigCRC() == b.CRC32()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyDeltaMarshalRoundTrip: serialization is lossless for
+// arbitrary deltas.
+func TestPropertyDeltaMarshalRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		d := &DeltaFile{Device: "x", Base: rng.Uint32(), Target: rng.Uint32()}
+		for i := 0; i < rng.Intn(20); i++ {
+			w := FrameWrite{Row: rng.Intn(64), Col: rng.Intn(64)}
+			rng.Read(w.Frame[:])
+			d.Writes = append(d.Writes, w)
+		}
+		got, err := UnmarshalDelta(d.Marshal())
+		if err != nil || got.Base != d.Base || got.Target != d.Target || len(got.Writes) != len(d.Writes) {
+			return false
+		}
+		for i := range d.Writes {
+			if got.Writes[i] != d.Writes[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

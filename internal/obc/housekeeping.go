@@ -1,0 +1,108 @@
+package obc
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Housekeeping telemetry: the platform periodically reports the state of
+// every managed device over the TM channel (Fig 1) — power, loaded
+// design, configuration CRC and config-port transaction counters. The
+// NCC uses these reports to notice silent degradation between explicit
+// validation requests.
+
+// HousekeepingReport is one TM snapshot of a device.
+type HousekeepingReport struct {
+	Device        string
+	Powered       bool
+	Design        string
+	ConfigCRC     uint32
+	FullLoads     int
+	PartialWrites int
+	Readbacks     int
+}
+
+// String renders the compact TM line format.
+func (h HousekeepingReport) String() string {
+	return fmt.Sprintf("hk %s pwr=%v design=%s crc=%08x loads=%d pw=%d rb=%d",
+		h.Device, h.Powered, h.Design, h.ConfigCRC, h.FullLoads, h.PartialWrites, h.Readbacks)
+}
+
+// ParseHousekeeping decodes a TM line produced by String.
+func ParseHousekeeping(line string) (HousekeepingReport, bool) {
+	var h HousekeepingReport
+	if !strings.HasPrefix(line, "hk ") {
+		return h, false
+	}
+	fields := strings.Fields(line)
+	if len(fields) != 8 {
+		return h, false
+	}
+	h.Device = fields[1]
+	if _, err := fmt.Sscanf(fields[2], "pwr=%t", &h.Powered); err != nil {
+		return h, false
+	}
+	h.Design = strings.TrimPrefix(fields[3], "design=")
+	if _, err := fmt.Sscanf(fields[4], "crc=%x", &h.ConfigCRC); err != nil {
+		return h, false
+	}
+	fmt.Sscanf(fields[5], "loads=%d", &h.FullLoads)
+	fmt.Sscanf(fields[6], "pw=%d", &h.PartialWrites)
+	fmt.Sscanf(fields[7], "rb=%d", &h.Readbacks)
+	return h, true
+}
+
+// Housekeeping snapshots every managed device, emits one TM line each,
+// and returns the reports (sorted by device name for determinism).
+func (c *Controller) Housekeeping() []HousekeepingReport {
+	names := make([]string, 0, len(c.devices))
+	for n := range c.devices {
+		names = append(names, n)
+	}
+	sortStrings(names)
+	out := make([]HousekeepingReport, 0, len(names))
+	for _, n := range names {
+		md := c.devices[n]
+		full, pw, rb := md.Device.Stats()
+		h := HousekeepingReport{
+			Device:        n,
+			Powered:       md.Device.Powered(),
+			Design:        md.Device.LoadedDesign(),
+			ConfigCRC:     md.Device.ConfigCRC(),
+			FullLoads:     full,
+			PartialWrites: pw,
+			Readbacks:     rb,
+		}
+		c.tm("%s", h)
+		out = append(out, h)
+	}
+	return out
+}
+
+// StartHousekeeping schedules periodic housekeeping every period seconds
+// for the given number of cycles (0 = until the simulation drains its
+// horizon; bounded to avoid infinite event loops).
+func (c *Controller) StartHousekeeping(period float64, cycles int) {
+	if period <= 0 {
+		panic("obc: housekeeping period must be positive")
+	}
+	if cycles <= 0 {
+		cycles = 1
+	}
+	var tick func(remaining int)
+	tick = func(remaining int) {
+		c.Housekeeping()
+		if remaining > 1 {
+			c.s.Schedule(period, func() { tick(remaining - 1) })
+		}
+	}
+	c.s.Schedule(period, func() { tick(cycles) })
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,86 @@
+package obc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHousekeepingSnapshot(t *testing.T) {
+	_, c, d := newTestController(t)
+	var tm []string
+	c.Telemetry = func(l string) { tm = append(tm, l) }
+	reports := c.Housekeeping()
+	if len(reports) != 1 {
+		t.Fatalf("reports %d", len(reports))
+	}
+	h := reports[0]
+	if h.Device != "demod-fpga" || !h.Powered || h.Design != "boot" {
+		t.Fatalf("report %+v", h)
+	}
+	if h.ConfigCRC != d.ConfigCRC() {
+		t.Fatal("CRC")
+	}
+	if len(tm) != 1 {
+		t.Fatal("TM line not emitted")
+	}
+}
+
+func TestHousekeepingRoundTrip(t *testing.T) {
+	_, c, _ := newTestController(t)
+	for _, h := range c.Housekeeping() {
+		got, ok := ParseHousekeeping(h.String())
+		if !ok {
+			t.Fatalf("parse failed: %q", h.String())
+		}
+		if got != h {
+			t.Fatalf("round trip: %+v vs %+v", got, h)
+		}
+	}
+}
+
+func TestParseHousekeepingRejectsGarbage(t *testing.T) {
+	for _, s := range []string{"", "hk", "hk x", "not a report", "hk d pwr=maybe design=x crc=zz loads=1 pw=2 rb=3"} {
+		if _, ok := ParseHousekeeping(s); ok {
+			t.Fatalf("accepted %q", s)
+		}
+	}
+}
+
+func TestPeriodicHousekeeping(t *testing.T) {
+	s, c, _ := newTestController(t)
+	count := 0
+	c.Telemetry = func(string) { count++ }
+	c.StartHousekeeping(10, 5)
+	s.Run()
+	if count != 5 {
+		t.Fatalf("housekeeping cycles %d want 5", count)
+	}
+	if s.Now() < 50-1e-9 {
+		t.Fatalf("clock %g", s.Now())
+	}
+}
+
+func TestHousekeepingDetectsStateChanges(t *testing.T) {
+	_, c, d := newTestController(t)
+	before := c.Housekeeping()[0]
+	d.PowerOff()
+	d.FlipConfigBit(5)
+	after := c.Housekeeping()[0]
+	if after.Powered || after.ConfigCRC == before.ConfigCRC {
+		t.Fatal("state change not reflected")
+	}
+}
+
+func TestPropertyHousekeepingParse(t *testing.T) {
+	f := func(pw bool, crc uint32, loads, pwr, rb uint8) bool {
+		h := HousekeepingReport{
+			Device: "dev-x", Powered: pw, Design: "d1", ConfigCRC: crc,
+			FullLoads: int(loads), PartialWrites: int(pwr), Readbacks: int(rb),
+		}
+		got, ok := ParseHousekeeping(h.String())
+		return ok && got == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

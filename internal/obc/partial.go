@@ -1,0 +1,180 @@
+package obc
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"repro/internal/fec"
+	"repro/internal/fpga"
+)
+
+// Partial (delta) reconfiguration: §4.4 notes that "major FPGAs are not
+// partially configurable and only a global reload is possible", but the
+// Xilinx parts of §4.3 expose per-CLB partial configuration (used there
+// for scrubbing). This service exploits it for *updates*: instead of the
+// five-step full reload with its service interruption, only the frames
+// that differ between the running design and the new one are rewritten,
+// without switching the device off. This is the natural extension of the
+// paper's reconfiguration concept to partially-reconfigurable parts.
+
+// DeltaFile is the uploadable diff between two configurations.
+type DeltaFile struct {
+	Device string // informational: target design family
+	Base   uint32 // CRC-32 the running configuration must match
+	Target uint32 // CRC-32 after applying the delta
+	Writes []FrameWrite
+}
+
+// FrameWrite is one partial-configuration transaction.
+type FrameWrite struct {
+	Row, Col int
+	Frame    [fpga.FrameBytes]byte
+}
+
+// BuildDelta computes the frame-level diff from one bitstream to another
+// (same geometry required).
+func BuildDelta(from, to *fpga.Bitstream) (*DeltaFile, error) {
+	if from.Rows != to.Rows || from.Cols != to.Cols {
+		return nil, errors.New("obc: delta requires identical geometry")
+	}
+	d := &DeltaFile{Device: to.Design, Base: from.CRC32(), Target: to.CRC32()}
+	for r := 0; r < from.Rows; r++ {
+		for c := 0; c < from.Cols; c++ {
+			if from.Frame(r, c) != to.Frame(r, c) {
+				d.Writes = append(d.Writes, FrameWrite{Row: r, Col: c, Frame: to.Frame(r, c)})
+			}
+		}
+	}
+	return d, nil
+}
+
+// Marshal serializes the delta with a trailing CRC-32.
+func (d *DeltaFile) Marshal() []byte {
+	out := make([]byte, 0, 16+len(d.Writes)*8)
+	out = append(out, "SDLT"...)
+	var hdr [10]byte
+	binary.BigEndian.PutUint32(hdr[0:4], d.Base)
+	binary.BigEndian.PutUint32(hdr[4:8], d.Target)
+	binary.BigEndian.PutUint16(hdr[8:10], uint16(len(d.Device)))
+	out = append(out, hdr[:]...)
+	out = append(out, d.Device...)
+	var cnt [4]byte
+	binary.BigEndian.PutUint32(cnt[:], uint32(len(d.Writes)))
+	out = append(out, cnt[:]...)
+	for _, w := range d.Writes {
+		var rec [4 + fpga.FrameBytes]byte
+		binary.BigEndian.PutUint16(rec[0:2], uint16(w.Row))
+		binary.BigEndian.PutUint16(rec[2:4], uint16(w.Col))
+		copy(rec[4:], w.Frame[:])
+		out = append(out, rec[:]...)
+	}
+	crc := fec.CRC32IEEE(out)
+	var tail [4]byte
+	binary.BigEndian.PutUint32(tail[:], crc)
+	return append(out, tail[:]...)
+}
+
+// UnmarshalDelta parses and integrity-checks a serialized delta.
+func UnmarshalDelta(data []byte) (*DeltaFile, error) {
+	if len(data) < 22 {
+		return nil, errors.New("obc: delta too short")
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if fec.CRC32IEEE(body) != binary.BigEndian.Uint32(tail) {
+		return nil, errors.New("obc: delta CRC mismatch")
+	}
+	if string(body[:4]) != "SDLT" {
+		return nil, errors.New("obc: bad delta magic")
+	}
+	d := &DeltaFile{
+		Base:   binary.BigEndian.Uint32(body[4:8]),
+		Target: binary.BigEndian.Uint32(body[8:12]),
+	}
+	nameLen := int(binary.BigEndian.Uint16(body[12:14]))
+	if len(body) < 14+nameLen+4 {
+		return nil, errors.New("obc: truncated delta")
+	}
+	d.Device = string(body[14 : 14+nameLen])
+	p := 14 + nameLen
+	count := int(binary.BigEndian.Uint32(body[p : p+4]))
+	p += 4
+	rec := 4 + fpga.FrameBytes
+	if len(body) != p+count*rec {
+		return nil, errors.New("obc: delta length mismatch")
+	}
+	for i := 0; i < count; i++ {
+		w := FrameWrite{
+			Row: int(binary.BigEndian.Uint16(body[p : p+2])),
+			Col: int(binary.BigEndian.Uint16(body[p+2 : p+4])),
+		}
+		copy(w.Frame[:], body[p+4:p+rec])
+		d.Writes = append(d.Writes, w)
+		p += rec
+	}
+	return d, nil
+}
+
+// PartialResult reports a delta reconfiguration.
+type PartialResult struct {
+	Device        string
+	OK            bool
+	Err           string
+	FramesWritten int
+	CRC           uint32
+	// Duration is the config-port time spent, with no service
+	// interruption (the device stays powered).
+	Duration float64
+}
+
+// PartialReconfigure applies a staged delta file to a running device:
+// verify the base CRC matches the live configuration, stream the frame
+// writes through the config port (device stays on), verify the target
+// CRC, report over telemetry. On any mismatch nothing further is written
+// and the result is a failure (the delta is atomic per frame, so a base
+// mismatch aborts before any write).
+func (c *Controller) PartialReconfigure(deviceName, fileName string, done func(PartialResult)) {
+	res := PartialResult{Device: deviceName}
+	md, ok := c.devices[deviceName]
+	if !ok {
+		res.Err = "unknown device"
+		done(res)
+		return
+	}
+	data, ok := c.store.Get(fileName)
+	if !ok {
+		res.Err = "file not staged in on-board memory"
+		done(res)
+		return
+	}
+	delta, err := UnmarshalDelta(data)
+	if err != nil {
+		res.Err = err.Error()
+		c.tm("partial %s: corrupt delta: %v", deviceName, err)
+		done(res)
+		return
+	}
+	if got := md.Device.ConfigCRC(); got != delta.Base {
+		res.Err = fmt.Sprintf("base CRC mismatch: device %08x, delta expects %08x", got, delta.Base)
+		c.tm("partial %s: %s", deviceName, res.Err)
+		done(res)
+		return
+	}
+	// Stream the writes through the config port at JTAG rate.
+	duration := float64(len(delta.Writes)*fpga.FrameBytes*8) / JTAGRateBps
+	c.s.Schedule(duration, func() {
+		for _, w := range delta.Writes {
+			md.Device.PartialWrite(w.Row, w.Col, w.Frame)
+		}
+		res.FramesWritten = len(delta.Writes)
+		res.Duration = duration
+		res.CRC = md.Device.ConfigCRC()
+		res.OK = res.CRC == delta.Target
+		if !res.OK {
+			res.Err = "target CRC mismatch after delta"
+		}
+		c.tm("partial %s: %d frames, crc=%08x ok=%v (no service interruption)",
+			deviceName, res.FramesWritten, res.CRC, res.OK)
+		done(res)
+	})
+}

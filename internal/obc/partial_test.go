@@ -1,0 +1,204 @@
+package obc
+
+import (
+	"testing"
+
+	"repro/internal/fpga"
+	"repro/internal/sim"
+)
+
+func twoDesigns(t *testing.T) (*fpga.Bitstream, *fpga.Bitstream) {
+	t.Helper()
+	a := makeBitstream(t, "design-a", 8, 8)
+	// design-b: same circuit shape plus an extra gate, so only some
+	// frames differ.
+	nl := fpga.NewNetlist("design-b", 4)
+	acc := 0
+	for i := 1; i < 4; i++ {
+		acc = nl.AddGate(fpga.LUTXor, acc, i)
+	}
+	extra := nl.AddGate(fpga.LUTAnd, acc, 0)
+	nl.MarkOutput(extra)
+	b, err := nl.Compile(8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, b
+}
+
+func TestBuildDeltaMinimal(t *testing.T) {
+	a, b := twoDesigns(t)
+	d, err := BuildDelta(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Writes) == 0 {
+		t.Fatal("no differing frames found")
+	}
+	if len(d.Writes) >= 64 {
+		t.Fatalf("delta not minimal: %d frames", len(d.Writes))
+	}
+	if d.Base != a.CRC32() || d.Target != b.CRC32() {
+		t.Fatal("CRC anchors")
+	}
+}
+
+func TestBuildDeltaGeometryMismatch(t *testing.T) {
+	a := makeBitstream(t, "a", 8, 8)
+	b := makeBitstream(t, "b", 4, 4)
+	if _, err := BuildDelta(a, b); err == nil {
+		t.Fatal("geometry mismatch must fail")
+	}
+}
+
+func TestDeltaMarshalRoundTrip(t *testing.T) {
+	a, b := twoDesigns(t)
+	d, _ := BuildDelta(a, b)
+	got, err := UnmarshalDelta(d.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Base != d.Base || got.Target != d.Target || len(got.Writes) != len(d.Writes) {
+		t.Fatal("round trip")
+	}
+	for i := range d.Writes {
+		if got.Writes[i] != d.Writes[i] {
+			t.Fatalf("write %d differs", i)
+		}
+	}
+}
+
+func TestDeltaCorruptionDetected(t *testing.T) {
+	a, b := twoDesigns(t)
+	d, _ := BuildDelta(a, b)
+	data := d.Marshal()
+	data[10] ^= 1
+	if _, err := UnmarshalDelta(data); err == nil {
+		t.Fatal("corruption not detected")
+	}
+	if _, err := UnmarshalDelta([]byte{1, 2, 3}); err == nil {
+		t.Fatal("short delta must fail")
+	}
+}
+
+func TestPartialReconfigureNoInterruption(t *testing.T) {
+	s := sim.New()
+	c := NewController(s, NewMemoryStore(0))
+	dev := fpga.NewDevice("demod-fpga", 8, 8)
+	a, b := twoDesigns(t)
+	dev.FullLoad(a)
+	dev.PowerOn()
+	c.AddDevice(dev)
+
+	delta, _ := BuildDelta(a, b)
+	c.Store().Put("delta.bit", delta.Marshal())
+
+	powerObserved := true
+	var probe func()
+	probe = func() {
+		if s.Now() > 1 {
+			return
+		}
+		if !dev.Powered() {
+			powerObserved = false
+		}
+		s.Schedule(0.001, probe)
+	}
+	s.Schedule(0, probe)
+
+	var res PartialResult
+	c.PartialReconfigure("demod-fpga", "delta.bit", func(r PartialResult) { res = r })
+	s.Run()
+
+	if !res.OK {
+		t.Fatalf("partial reconfiguration failed: %s", res.Err)
+	}
+	if !powerObserved {
+		t.Fatal("device lost power during partial reconfiguration")
+	}
+	if dev.ConfigCRC() != b.CRC32() {
+		t.Fatal("configuration does not match the target")
+	}
+	if res.FramesWritten == 0 || res.FramesWritten >= 64 {
+		t.Fatalf("frames written %d", res.FramesWritten)
+	}
+}
+
+func TestPartialReconfigureBaseMismatch(t *testing.T) {
+	s := sim.New()
+	c := NewController(s, NewMemoryStore(0))
+	dev := fpga.NewDevice("demod-fpga", 8, 8)
+	a, b := twoDesigns(t)
+	dev.FullLoad(b) // device runs b, delta expects base a
+	dev.PowerOn()
+	c.AddDevice(dev)
+	delta, _ := BuildDelta(a, b)
+	c.Store().Put("delta.bit", delta.Marshal())
+	var res PartialResult
+	c.PartialReconfigure("demod-fpga", "delta.bit", func(r PartialResult) { res = r })
+	s.Run()
+	if res.OK || res.FramesWritten != 0 {
+		t.Fatalf("base mismatch must abort before writing: %+v", res)
+	}
+}
+
+func TestPartialReconfigureMissingPieces(t *testing.T) {
+	s := sim.New()
+	c := NewController(s, NewMemoryStore(0))
+	var res PartialResult
+	c.PartialReconfigure("ghost", "x", func(r PartialResult) { res = r })
+	if res.OK {
+		t.Fatal("unknown device")
+	}
+	dev := fpga.NewDevice("d", 4, 4)
+	c.AddDevice(dev)
+	c.PartialReconfigure("d", "missing", func(r PartialResult) { res = r })
+	s.Run()
+	if res.OK {
+		t.Fatal("missing file")
+	}
+	c.Store().Put("junk", []byte{1, 2, 3, 4, 5})
+	c.PartialReconfigure("d", "junk", func(r PartialResult) { res = r })
+	s.Run()
+	if res.OK {
+		t.Fatal("junk delta")
+	}
+}
+
+func TestPartialFasterThanFullForSmallChanges(t *testing.T) {
+	// The delta path's config-port time must be far below a full reload
+	// of the same device.
+	s := sim.New()
+	c := NewController(s, NewMemoryStore(0))
+	dev := fpga.NewDevice("demod-fpga", 32, 32)
+	nlA := fpga.NewNetlist("a", 4)
+	acc := 0
+	for i := 1; i < 4; i++ {
+		acc = nlA.AddGate(fpga.LUTXor, acc, i)
+	}
+	nlA.MarkOutput(acc)
+	a, _ := nlA.Compile(32, 32)
+	nlB := fpga.NewNetlist("b", 4)
+	acc = 0
+	for i := 1; i < 4; i++ {
+		acc = nlB.AddGate(fpga.LUTOr, acc, i)
+	}
+	nlB.MarkOutput(acc)
+	b, _ := nlB.Compile(32, 32)
+
+	dev.FullLoad(a)
+	dev.PowerOn()
+	c.AddDevice(dev)
+	delta, _ := BuildDelta(a, b)
+	c.Store().Put("delta.bit", delta.Marshal())
+	var res PartialResult
+	c.PartialReconfigure("demod-fpga", "delta.bit", func(r PartialResult) { res = r })
+	s.Run()
+	if !res.OK {
+		t.Fatalf("failed: %s", res.Err)
+	}
+	fullLoadTime := float64(32*32*fpga.FrameBytes*8) / JTAGRateBps
+	if res.Duration >= fullLoadTime/10 {
+		t.Fatalf("delta %g s vs full %g s — not a win", res.Duration, fullLoadTime)
+	}
+}

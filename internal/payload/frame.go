@@ -1,0 +1,46 @@
+package payload
+
+import (
+	"repro/internal/modem"
+)
+
+// Frame-level MF-TDMA reception: the return link of Fig 2 is organized
+// in frames of (carrier, slot) cells; terminals transmit one burst per
+// assigned cell. ReceiveFrame demodulates every assigned cell of a
+// composed frame and reports per-burst outcomes — the payload-side view
+// of the MF-TDMA time plan.
+
+// BurstReceipt is the outcome of one (carrier, slot) cell.
+type BurstReceipt struct {
+	Assignment modem.SlotAssignment
+	Found      bool
+	Soft       []float64
+	UWMetric   float64
+	Err        error
+}
+
+// ReceiveFrame demodulates the assigned cells of an MF-TDMA frame. The
+// composer must have been built at the payload's TDMA oversampling
+// (4 samples/symbol). Unassigned cells are not touched.
+func (p *Payload) ReceiveFrame(fc *modem.FrameComposer, assignments []modem.SlotAssignment) []BurstReceipt {
+	out := make([]BurstReceipt, 0, len(assignments))
+	for _, a := range assignments {
+		r := BurstReceipt{Assignment: a}
+		soft, err := p.DemodulateCarrier(a.Carrier, fc.SlotWaveform(a))
+		if err != nil {
+			r.Err = err
+		} else {
+			r.Found = true
+			r.Soft = soft
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// FrameThroughputBits returns the maximum information bits one frame can
+// carry at the payload's burst format and the composer's configuration:
+// carriers x slots x payload bits per burst.
+func (p *Payload) FrameThroughputBits(cfg modem.FrameConfig) int {
+	return cfg.Carriers * cfg.Slots * p.burstFormat.PayloadBits()
+}

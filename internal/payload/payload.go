@@ -1,0 +1,295 @@
+package payload
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"repro/internal/cdma"
+	"repro/internal/dsp"
+	"repro/internal/fec"
+	"repro/internal/fpga"
+	"repro/internal/modem"
+)
+
+// WaveformMode is the uplink access scheme currently loaded in the DEMOD
+// equipment — the §2.3 case study migrates ModeCDMA to ModeTDMA.
+type WaveformMode int
+
+// Waveform modes.
+const (
+	ModeNone WaveformMode = iota
+	ModeCDMA
+	ModeTDMA
+)
+
+// String implements fmt.Stringer.
+func (m WaveformMode) String() string {
+	switch m {
+	case ModeCDMA:
+		return "cdma"
+	case ModeTDMA:
+		return "tdma"
+	default:
+		return "none"
+	}
+}
+
+// Design names carried in bitstream headers; the payload derives its DSP
+// behaviour from what is actually loaded on its devices.
+const (
+	DesignCDMADemod = "cdma-demod"
+	DesignTDMADemod = "tdma-demod"
+)
+
+// Config sizes the payload.
+type Config struct {
+	Strategy Partitioning
+	// Carriers is the MF-TDMA carrier count (Fig 2 / §2.3 use 6).
+	Carriers int
+	// CDMA is the return-link CDMA configuration.
+	CDMA cdma.Config
+	// TDMAPayloadSymbols sizes TDMA burst payloads.
+	TDMAPayloadSymbols int
+}
+
+// DefaultConfig returns the experiment configuration: 6 carriers,
+// per-equipment chips, S-UMTS CDMA parameters.
+func DefaultConfig() Config {
+	return Config{
+		Strategy:           PerEquipment,
+		Carriers:           6,
+		CDMA:               cdma.DefaultConfig(),
+		TDMAPayloadSymbols: 200,
+	}
+}
+
+// Payload is the running regenerative payload.
+type Payload struct {
+	cfg Config
+	cs  *Chipset
+	sw  *PacketSwitch
+
+	burstFormat modem.BurstFormat
+}
+
+// New boots a payload.
+func New(cfg Config) (*Payload, error) {
+	if cfg.Carriers < 1 {
+		return nil, errors.New("payload: need at least one carrier")
+	}
+	cs, err := NewChipset(cfg.Strategy)
+	if err != nil {
+		return nil, err
+	}
+	return &Payload{
+		cfg:         cfg,
+		cs:          cs,
+		sw:          NewPacketSwitch(),
+		burstFormat: modem.DefaultBurstFormat(cfg.TDMAPayloadSymbols),
+	}, nil
+}
+
+// Chipset exposes the FPGA set (the OBC registers these devices).
+func (p *Payload) Chipset() *Chipset { return p.cs }
+
+// Switch exposes the baseband packet switch.
+func (p *Payload) Switch() *PacketSwitch { return p.sw }
+
+// Config returns the payload configuration.
+func (p *Payload) Config() Config { return p.cfg }
+
+// BurstFormat returns the TDMA burst layout.
+func (p *Payload) BurstFormat() modem.BurstFormat { return p.burstFormat }
+
+// Mode derives the active waveform from the design loaded on the DEMOD
+// devices.
+func (p *Payload) Mode() WaveformMode {
+	devs := p.cs.DevicesFor(FuncDemod)
+	if len(devs) == 0 {
+		return ModeNone
+	}
+	d := p.cs.devices[devs[0]]
+	switch {
+	case strings.HasPrefix(d.LoadedDesign(), DesignCDMADemod):
+		return ModeCDMA
+	case strings.HasPrefix(d.LoadedDesign(), DesignTDMADemod):
+		return ModeTDMA
+	default:
+		return ModeNone
+	}
+}
+
+// synthesizeDesign builds a bitstream with the given name filling about
+// half the device — realistic reload volume and non-trivial content.
+func synthesizeDesign(name string, rows, cols int) *fpga.Bitstream {
+	n := rows * cols / 2
+	if n < 8 {
+		n = 8
+	}
+	nl := fpga.NewNetlist(name, 8)
+	acc := 0
+	for i := 1; i < n && nl.NumGates() < n; i++ {
+		acc = nl.AddGate(fpga.LUTXor, acc, (i%7)+1)
+	}
+	nl.MarkOutput(acc)
+	bs, err := nl.Compile(rows, cols)
+	if err != nil {
+		panic("payload: synthesized design does not fit: " + err.Error())
+	}
+	return bs
+}
+
+// DemodBitstreams returns, per DEMOD device, the bitstream implementing
+// the given waveform — what the NCC uploads for the migration.
+func (p *Payload) DemodBitstreams(mode WaveformMode) map[string]*fpga.Bitstream {
+	name := DesignCDMADemod
+	if mode == ModeTDMA {
+		name = DesignTDMADemod
+	}
+	out := make(map[string]*fpga.Bitstream)
+	for _, dn := range p.cs.DevicesFor(FuncDemod) {
+		d := p.cs.devices[dn]
+		out[dn] = synthesizeDesign(name, d.Rows(), d.Cols())
+	}
+	return out
+}
+
+// DecodBitstreams returns, per DECOD device, the bitstream implementing
+// the given codec (fec.Codec Name()).
+func (p *Payload) DecodBitstreams(codecName string) map[string]*fpga.Bitstream {
+	out := make(map[string]*fpga.Bitstream)
+	for _, dn := range p.cs.DevicesFor(FuncDecod) {
+		d := p.cs.devices[dn]
+		out[dn] = synthesizeDesign(codecName, d.Rows(), d.Cols())
+	}
+	return out
+}
+
+// InstallDesign force-loads a design bitstream on a device (used to set
+// the boot waveform without the full ground procedure) and records it as
+// the golden configuration.
+func (p *Payload) InstallDesign(device string, bs *fpga.Bitstream) error {
+	d, ok := p.cs.Device(device)
+	if !ok {
+		return fmt.Errorf("payload: unknown device %s", device)
+	}
+	d.PowerOff()
+	if err := d.FullLoad(bs); err != nil {
+		return err
+	}
+	d.PowerOn()
+	p.cs.SetGolden(device, bs)
+	return nil
+}
+
+// SetWaveform installs the waveform design on every DEMOD device.
+func (p *Payload) SetWaveform(mode WaveformMode) error {
+	for dn, bs := range p.DemodBitstreams(mode) {
+		if err := p.InstallDesign(dn, bs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetCodec installs the decoder design on every DECOD device.
+func (p *Payload) SetCodec(codecName string) error {
+	for dn, bs := range p.DecodBitstreams(codecName) {
+		if err := p.InstallDesign(dn, bs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Codec returns the decoder implementation matching the DECOD devices'
+// loaded design.
+func (p *Payload) Codec() (fec.Codec, error) {
+	devs := p.cs.DevicesFor(FuncDecod)
+	if len(devs) == 0 {
+		return nil, errors.New("payload: no decoder device")
+	}
+	name := p.cs.devices[devs[0]].LoadedDesign()
+	switch {
+	case name == "uncoded":
+		return fec.Uncoded{}, nil
+	case strings.HasPrefix(name, "conv-r1/2"):
+		return fec.UMTSConvHalf(), nil
+	case strings.HasPrefix(name, "conv-r1/3"):
+		return fec.UMTSConvThird(), nil
+	case strings.HasPrefix(name, "conv-r2/3"):
+		return fec.UMTSConvTwoThirds(), nil
+	case strings.HasPrefix(name, "turbo"):
+		return fec.NewTurbo(6), nil
+	default:
+		return nil, fmt.Errorf("payload: no codec loaded (design %q)", name)
+	}
+}
+
+// ErrServiceDown is returned when a required function's devices are off
+// or configuration-corrupted.
+var ErrServiceDown = errors.New("payload: service down")
+
+// DemodulateCarrier runs the active demodulator on one carrier's
+// baseband block, returning soft bits. It fails if the DEMOD (or DEMUX)
+// function is unhealthy — which is exactly what happens during a
+// reconfiguration or after an unscrubbed SEU.
+func (p *Payload) DemodulateCarrier(carrier int, rx dsp.Vec) ([]float64, error) {
+	if carrier < 0 || carrier >= p.cfg.Carriers {
+		return nil, errors.New("payload: carrier out of range")
+	}
+	if !p.cs.FunctionHealthy(FuncDemux) || !p.cs.FunctionHealthy(FuncDemod) {
+		return nil, ErrServiceDown
+	}
+	switch p.Mode() {
+	case ModeCDMA:
+		dem := cdma.NewDemodulator(p.cfg.CDMA)
+		soft := dem.Demodulate(rx, 64)
+		if soft == nil {
+			return nil, errors.New("payload: CDMA acquisition failed")
+		}
+		return soft, nil
+	case ModeTDMA:
+		dem := modem.NewBurstDemodulator(p.burstFormat, 0.35, 4, 10, modem.TimingOerderMeyr)
+		res := dem.Demodulate(rx)
+		if !res.Found {
+			return nil, errors.New("payload: TDMA burst not found")
+		}
+		return res.Soft, nil
+	default:
+		return nil, errors.New("payload: no waveform loaded")
+	}
+}
+
+// Decode runs the active decoder over soft bits and returns info bits.
+func (p *Payload) Decode(soft []float64) ([]byte, error) {
+	if !p.cs.FunctionHealthy(FuncDecod) {
+		return nil, ErrServiceDown
+	}
+	codec, err := p.Codec()
+	if err != nil {
+		return nil, err
+	}
+	return codec.Decode(soft), nil
+}
+
+// ReceiveAndRoute demodulates a carrier, decodes, and routes the
+// resulting packet to the given downlink beam — one full regenerative
+// hop through the payload.
+func (p *Payload) ReceiveAndRoute(carrier int, rx dsp.Vec, beam int) ([]byte, error) {
+	soft, err := p.DemodulateCarrier(carrier, rx)
+	if err != nil {
+		return nil, err
+	}
+	bits, err := p.Decode(soft)
+	if err != nil {
+		return nil, err
+	}
+	if !p.cs.FunctionHealthy(FuncSwitch) {
+		return nil, ErrServiceDown
+	}
+	pkt := fec.PackBits(bits)
+	p.sw.Route(beam, pkt)
+	return bits, nil
+}

@@ -1,0 +1,327 @@
+package payload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cdma"
+	"repro/internal/dsp"
+	"repro/internal/fec"
+	"repro/internal/modem"
+)
+
+func TestChipsetStrategies(t *testing.T) {
+	for _, strat := range []Partitioning{SingleChip, PerEquipment, PerFunction} {
+		cs, err := NewChipset(strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs.Strategy() != strat {
+			t.Fatal("strategy")
+		}
+		for _, f := range AllFunctions() {
+			if len(cs.DevicesFor(f)) == 0 {
+				t.Fatalf("%v: no device hosts %s", strat, f)
+			}
+			if !cs.FunctionHealthy(f) {
+				t.Fatalf("%v: %s unhealthy at boot", strat, f)
+			}
+		}
+	}
+}
+
+func TestReloadPlanGranularity(t *testing.T) {
+	// §4.4: coarser partitioning → a demod reload interrupts more
+	// services.
+	interrupted := map[Partitioning]int{}
+	for _, strat := range []Partitioning{SingleChip, PerEquipment, PerFunction} {
+		cs, err := NewChipset(strat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, _, svcs := cs.ReloadPlan(FuncDemod)
+		interrupted[strat] = len(svcs)
+	}
+	if interrupted[SingleChip] != len(AllFunctions()) {
+		t.Fatalf("single chip must interrupt everything, got %d", interrupted[SingleChip])
+	}
+	if interrupted[PerEquipment] != 1 {
+		t.Fatalf("per-equipment demod reload must interrupt only demod, got %d", interrupted[PerEquipment])
+	}
+	if interrupted[PerFunction] != 1 {
+		t.Fatalf("per-function demod reload interrupts %d", interrupted[PerFunction])
+	}
+}
+
+func TestReloadBytesOrdering(t *testing.T) {
+	// The single chip reloads the most configuration for a demod swap.
+	bytes := map[Partitioning]int{}
+	for _, strat := range []Partitioning{SingleChip, PerEquipment, PerFunction} {
+		cs, _ := NewChipset(strat)
+		_, b, _ := cs.ReloadPlan(FuncDemod)
+		bytes[strat] = b
+	}
+	if !(bytes[SingleChip] > bytes[PerEquipment]) {
+		t.Fatalf("reload bytes: single=%d per-equipment=%d", bytes[SingleChip], bytes[PerEquipment])
+	}
+}
+
+func TestServicesOnDevice(t *testing.T) {
+	cs, _ := NewChipset(PerEquipment)
+	svcs := cs.ServicesOn("decod-fpga")
+	if len(svcs) != 3 { // decod, switch, coding share the chip
+		t.Fatalf("services on decod chip: %v", svcs)
+	}
+}
+
+func TestFunctionUnhealthyWhenOff(t *testing.T) {
+	cs, _ := NewChipset(PerEquipment)
+	d, _ := cs.Device("demod-fpga")
+	d.PowerOff()
+	if cs.FunctionHealthy(FuncDemod) {
+		t.Fatal("powered-off device must be unhealthy")
+	}
+	if !cs.FunctionHealthy(FuncDemux) {
+		t.Fatal("other functions unaffected")
+	}
+}
+
+func TestFunctionUnhealthyWhenCorrupted(t *testing.T) {
+	cs, _ := NewChipset(PerEquipment)
+	d, _ := cs.Device("demod-fpga")
+	d.FlipConfigBit(10)
+	if cs.FunctionHealthy(FuncDemod) {
+		t.Fatal("corrupted configuration must be unhealthy")
+	}
+}
+
+func TestPacketSwitchRouting(t *testing.T) {
+	ps := NewPacketSwitch()
+	ps.Route(1, []byte("a"))
+	ps.Route(1, []byte("b"))
+	ps.Route(2, []byte("c"))
+	if ps.Routed != 3 || ps.QueueDepth(1) != 2 {
+		t.Fatal("routing counters")
+	}
+	got := ps.Drain(1)
+	if len(got) != 2 || string(got[0]) != "a" {
+		t.Fatalf("drain %v", got)
+	}
+	if ps.QueueDepth(1) != 0 {
+		t.Fatal("drain must empty the queue")
+	}
+	if b := ps.Beams(); len(b) != 1 || b[0] != 2 {
+		t.Fatalf("beams %v", b)
+	}
+}
+
+func TestPacketSwitchBackpressure(t *testing.T) {
+	ps := NewPacketSwitch()
+	ps.MaxQueue = 2
+	for i := 0; i < 5; i++ {
+		ps.Route(0, []byte{byte(i)})
+	}
+	if ps.Dropped != 3 || ps.QueueDepth(0) != 2 {
+		t.Fatalf("dropped=%d depth=%d", ps.Dropped, ps.QueueDepth(0))
+	}
+}
+
+func TestPayloadBootHasNoWaveform(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode() != ModeNone {
+		t.Fatalf("boot mode %v", p.Mode())
+	}
+	if _, err := p.DemodulateCarrier(0, dsp.NewVec(64)); err == nil {
+		t.Fatal("demodulation must fail without a waveform")
+	}
+}
+
+func TestPayloadCDMAEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetWaveform(ModeCDMA); err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode() != ModeCDMA {
+		t.Fatalf("mode %v", p.Mode())
+	}
+	if err := p.SetCodec("uncoded"); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(1))
+	bits := make([]byte, 256)
+	for i := range bits {
+		bits[i] = byte(rng.Intn(2))
+	}
+	mod := cdma.NewModulator(cfg.CDMA)
+	rx := mod.Modulate(bits)
+	ch := dsp.NewChannel(2)
+	ch.AWGN(rx, 0.1)
+
+	got, err := p.ReceiveAndRoute(0, rx, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fec.CountBitErrors(bits, got[:len(bits)]) != 0 {
+		t.Fatal("CDMA payload path corrupted data")
+	}
+	if p.Switch().QueueDepth(3) != 1 {
+		t.Fatal("packet not routed")
+	}
+}
+
+func TestPayloadTDMAEndToEnd(t *testing.T) {
+	cfg := DefaultConfig()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetWaveform(ModeTDMA); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.SetCodec("uncoded"); err != nil {
+		t.Fatal(err)
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	f := p.BurstFormat()
+	payloadBits := make([]byte, f.PayloadBits())
+	for i := range payloadBits {
+		payloadBits[i] = byte(rng.Intn(2))
+	}
+	mod := modem.NewBurstModulator(f, 0.35, 4, 10)
+	tx := mod.Modulate(payloadBits)
+	ch := dsp.NewChannel(4)
+	ch.EsN0dB = 15
+	ch.SPS = 4
+	rx := ch.Apply(tx)
+
+	got, err := p.ReceiveAndRoute(2, rx, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := fec.CountBitErrors(payloadBits, got[:len(payloadBits)])
+	if errs > 2 {
+		t.Fatalf("%d bit errors through TDMA path", errs)
+	}
+}
+
+func TestPayloadWaveformMigration(t *testing.T) {
+	// The Fig 3 swap: CDMA up, migrate, TDMA up; CDMA no longer decodes.
+	cfg := DefaultConfig()
+	p, _ := New(cfg)
+	p.SetWaveform(ModeCDMA)
+	p.SetCodec("uncoded")
+	if p.Mode() != ModeCDMA {
+		t.Fatal("initial mode")
+	}
+	if err := p.SetWaveform(ModeTDMA); err != nil {
+		t.Fatal(err)
+	}
+	if p.Mode() != ModeTDMA {
+		t.Fatal("migrated mode")
+	}
+	// A CDMA uplink block no longer demodulates.
+	mod := cdma.NewModulator(cfg.CDMA)
+	bits := make([]byte, 128)
+	rx := mod.Modulate(bits)
+	if _, err := p.DemodulateCarrier(0, rx); err == nil {
+		t.Fatal("CDMA signal must not demodulate in TDMA mode")
+	}
+}
+
+func TestPayloadServiceDownDuringReload(t *testing.T) {
+	cfg := DefaultConfig()
+	p, _ := New(cfg)
+	p.SetWaveform(ModeCDMA)
+	p.SetCodec("uncoded")
+	d, _ := p.Chipset().Device("demod-fpga")
+	d.PowerOff() // reconfiguration in progress
+	mod := cdma.NewModulator(cfg.CDMA)
+	rx := mod.Modulate(make([]byte, 64))
+	if _, err := p.DemodulateCarrier(0, rx); err != ErrServiceDown {
+		t.Fatalf("want ErrServiceDown, got %v", err)
+	}
+	d.PowerOn()
+	if _, err := p.DemodulateCarrier(0, rx); err != nil {
+		t.Fatalf("service must recover: %v", err)
+	}
+}
+
+func TestPayloadCodecSelection(t *testing.T) {
+	p, _ := New(DefaultConfig())
+	for _, name := range []string{"uncoded", "conv-r1/2-k9", "conv-r1/3-k9", "turbo-r1/3"} {
+		if err := p.SetCodec(name); err != nil {
+			t.Fatal(err)
+		}
+		c, err := p.Codec()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Name() != name {
+			t.Fatalf("loaded %q resolved %q", name, c.Name())
+		}
+	}
+}
+
+func TestPayloadDecoderSwapChangesBehaviour(t *testing.T) {
+	// Decoder reconfiguration (§2.3 bullet 1): same soft input, decoded
+	// under uncoded vs convolutional rules.
+	p, _ := New(DefaultConfig())
+	rng := rand.New(rand.NewSource(5))
+	info := make([]byte, 100)
+	for i := range info {
+		info[i] = byte(rng.Intn(2))
+	}
+	cc := fec.UMTSConvHalf()
+	llr := fec.HardLLR(cc.Encode(info))
+
+	p.SetCodec("conv-r1/2-k9")
+	dec1, err := p.Decode(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fec.CountBitErrors(info, dec1) != 0 {
+		t.Fatal("convolutional decode failed")
+	}
+
+	p.SetCodec("uncoded")
+	dec2, err := p.Decode(llr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dec2) == len(dec1) {
+		t.Fatal("uncoded decode must return the raw coded stream")
+	}
+}
+
+func TestPartitioningStrings(t *testing.T) {
+	if SingleChip.String() != "single-chip" || PerFunction.String() != "per-function" {
+		t.Fatal("names")
+	}
+	if ModeCDMA.String() != "cdma" || ModeNone.String() != "none" {
+		t.Fatal("mode names")
+	}
+}
+
+func TestPerFunctionDemodNeedsBothChips(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Strategy = PerFunction
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetWaveform(ModeCDMA)
+	d, _ := p.Chipset().Device("carrier-fpga")
+	d.PowerOff()
+	if p.Chipset().FunctionHealthy(FuncDemod) {
+		t.Fatal("demod needs both per-function chips")
+	}
+}

@@ -1,0 +1,52 @@
+package payload
+
+import "sort"
+
+// PacketSwitch is the baseband packet switching stage of the regenerative
+// payload — the reason the signal is demodulated on board at all ("packet
+// switching can be performed at the satellite level"). Decoded uplink
+// packets are routed by destination beam to downlink queues.
+type PacketSwitch struct {
+	queues map[int][][]byte // downlink beam -> queued packets
+
+	Routed  int
+	Dropped int
+	// MaxQueue bounds each downlink queue; 0 = unbounded.
+	MaxQueue int
+}
+
+// NewPacketSwitch creates an empty switch.
+func NewPacketSwitch() *PacketSwitch {
+	return &PacketSwitch{queues: make(map[int][][]byte)}
+}
+
+// Route enqueues a packet for a downlink beam.
+func (ps *PacketSwitch) Route(beam int, pkt []byte) {
+	if ps.MaxQueue > 0 && len(ps.queues[beam]) >= ps.MaxQueue {
+		ps.Dropped++
+		return
+	}
+	cp := append([]byte{}, pkt...)
+	ps.queues[beam] = append(ps.queues[beam], cp)
+	ps.Routed++
+}
+
+// Drain removes and returns every packet queued for a beam.
+func (ps *PacketSwitch) Drain(beam int) [][]byte {
+	out := ps.queues[beam]
+	delete(ps.queues, beam)
+	return out
+}
+
+// QueueDepth returns the number of packets waiting for a beam.
+func (ps *PacketSwitch) QueueDepth(beam int) int { return len(ps.queues[beam]) }
+
+// Beams lists beams with queued traffic, sorted.
+func (ps *PacketSwitch) Beams() []int {
+	var out []int
+	for b := range ps.queues {
+		out = append(out, b)
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,111 @@
+package payload
+
+import (
+	"errors"
+
+	"repro/internal/dsp"
+	"repro/internal/fec"
+	"repro/internal/frontend"
+	"repro/internal/modem"
+)
+
+// Transmit section of Fig 2: packets drained from the baseband switch are
+// re-encoded (FuncCoding), burst-modulated, stacked onto downlink
+// carriers (DUC bank) and passed through the DAC. Together with the
+// receive chain this closes the regenerative loop: demodulate - decode -
+// switch - re-encode - remodulate.
+
+// Transmitter drives the payload downlink.
+type Transmitter struct {
+	pl   *Payload
+	plan frontend.CarrierPlan
+	mux  *frontend.Mux
+	dac  *frontend.DAC
+	mod  *modem.BurstModulator
+	sps  int
+}
+
+// NewTransmitter builds the Tx section for the given downlink carrier
+// plan. Burst parameters mirror the uplink format.
+func NewTransmitter(pl *Payload, plan frontend.CarrierPlan) *Transmitter {
+	return &Transmitter{
+		pl:   pl,
+		plan: plan,
+		mux:  frontend.NewMux(plan, 95),
+		dac:  frontend.NewDAC(12, 4),
+		mod:  modem.NewBurstModulator(pl.BurstFormat(), 0.35, plan.Decim, 10),
+		sps:  plan.Decim,
+	}
+}
+
+// Plan returns the downlink carrier plan.
+func (t *Transmitter) Plan() frontend.CarrierPlan { return t.plan }
+
+// EncodeBurst encodes info bits with the active codec and pads them into
+// one downlink burst payload. It fails when the coding function is down
+// or the coded stream does not fit the burst.
+func (t *Transmitter) EncodeBurst(info []byte) ([]byte, error) {
+	if !t.pl.Chipset().FunctionHealthy(FuncCoding) {
+		return nil, ErrServiceDown
+	}
+	codec, err := t.pl.Codec()
+	if err != nil {
+		return nil, err
+	}
+	coded := codec.Encode(info)
+	f := t.pl.BurstFormat()
+	if len(coded) > f.PayloadBits() {
+		return nil, errors.New("payload: coded burst exceeds the slot payload")
+	}
+	out := make([]byte, f.PayloadBits())
+	copy(out, coded)
+	return out, nil
+}
+
+// TransmitFrame drains queued packets for the given beams (one burst per
+// beam, in beam order), modulates each onto its own downlink carrier and
+// returns the stacked wideband block after the DAC. Beams without
+// traffic contribute an empty carrier.
+func (t *Transmitter) TransmitFrame(infoBitsPerBeam map[int][]byte) (dsp.Vec, error) {
+	if !t.pl.Chipset().FunctionHealthy(FuncSwitch) {
+		return nil, ErrServiceDown
+	}
+	carriers := make([]dsp.Vec, t.plan.Carriers)
+	var burstLen int
+	for beam := 0; beam < t.plan.Carriers; beam++ {
+		info, ok := infoBitsPerBeam[beam]
+		if !ok {
+			continue
+		}
+		payloadBits, err := t.EncodeBurst(info)
+		if err != nil {
+			return nil, err
+		}
+		wave := t.mod.Modulate(payloadBits)
+		carriers[beam] = wave
+		if len(wave) > burstLen {
+			burstLen = len(wave)
+		}
+	}
+	if burstLen == 0 {
+		return nil, errors.New("payload: nothing to transmit")
+	}
+	// Tail margin absorbs the DUC/DDC filter group delays so the end of
+	// a burst is never pushed past the receiver's block boundary.
+	burstLen += 64
+	for i := range carriers {
+		if carriers[i] == nil {
+			carriers[i] = dsp.NewVec(burstLen)
+		} else if len(carriers[i]) < burstLen {
+			carriers[i] = append(carriers[i], dsp.NewVec(burstLen-len(carriers[i]))...)
+		}
+	}
+	wide := t.mux.Process(carriers)
+	return t.dac.Convert(wide), nil
+}
+
+// PackInfoBits converts a drained switch packet back into the info-bit
+// slice it was routed with (inverse of fec.PackBits up to padding).
+func PackInfoBits(pkt []byte, nbits int) []byte {
+	return fec.UnpackBits(pkt, nbits)
+}

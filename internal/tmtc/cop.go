@@ -1,0 +1,165 @@
+package tmtc
+
+import "repro/internal/sim"
+
+// The controlled-mode ARQ of the telecommand service, modelled on COP-1:
+// the ground FOP (frame operation procedure) holds a go-back-N window of
+// AD frames; the on-board FARM (frame acceptance and reporting mechanism)
+// accepts frames in sequence, delivers their payloads, and reports its
+// next-expected sequence number back in CLCWs on the telemetry downlink.
+
+// FOP is the ground-side sender state machine for one virtual channel.
+type FOP struct {
+	s    *sim.Simulator
+	up   *Endpoint // ground uplink endpoint
+	vc   byte
+	wind int
+	tout float64 // retransmission timeout
+
+	queue   [][]byte // segments not yet acknowledged, in order
+	base    byte     // sequence number of queue[0]
+	sent    int      // segments currently transmitted and unacked
+	timerID int
+
+	// Done is invoked when every queued segment has been acknowledged.
+	Done func()
+
+	retransmissions int
+}
+
+// NewFOP creates the sender. Window is the maximum unacknowledged frame
+// count; timeout is the retransmission timer in seconds (should exceed
+// one RTT plus serialization).
+func NewFOP(s *sim.Simulator, uplink *Endpoint, vc byte, window int, timeout float64) *FOP {
+	if window < 1 || window > 127 {
+		panic("tmtc: FOP window out of range")
+	}
+	return &FOP{s: s, up: uplink, vc: vc, wind: window, tout: timeout}
+}
+
+// Retransmissions returns the number of frames sent more than once.
+func (f *FOP) Retransmissions() int { return f.retransmissions }
+
+// SendData segments and queues a data unit for controlled transfer.
+func (f *FOP) SendData(data []byte) {
+	for _, seg := range Segment(data, MaxFrameData) {
+		f.queue = append(f.queue, seg)
+	}
+	f.pump(false)
+}
+
+// SendExpress transmits a data unit in BD (express) mode, bypassing the
+// window — at most once, no delivery guarantee.
+func (f *FOP) SendExpress(data []byte) {
+	for _, seg := range Segment(data, MaxFrameData) {
+		fr := &Frame{VC: f.vc, Type: FrameBD, Payload: seg}
+		f.up.Send(fr.Marshal())
+	}
+}
+
+// pump transmits window space worth of frames; retransmit forces
+// retransmission from the window base (go-back-N).
+func (f *FOP) pump(retransmit bool) {
+	if retransmit {
+		f.retransmissions += f.sent
+		f.sent = 0
+	}
+	for f.sent < f.wind && f.sent < len(f.queue) {
+		fr := &Frame{VC: f.vc, Type: FrameAD, Seq: f.base + byte(f.sent), Payload: f.queue[f.sent]}
+		f.up.Send(fr.Marshal())
+		f.sent++
+	}
+	f.armTimer()
+}
+
+func (f *FOP) armTimer() {
+	if len(f.queue) == 0 {
+		return
+	}
+	f.timerID++
+	id := f.timerID
+	f.s.Schedule(f.tout, func() {
+		if id == f.timerID && len(f.queue) > 0 {
+			f.pump(true)
+		}
+	})
+}
+
+// HandleCLCW processes a receiver report from the TM downlink.
+func (f *FOP) HandleCLCW(c CLCW) {
+	if c.VC != f.vc {
+		return
+	}
+	// Acknowledge every frame before c.Expected (modulo arithmetic over
+	// the window).
+	acked := int(c.Expected - f.base) // byte subtraction wraps mod 256
+	if acked <= 0 || acked > f.sent {
+		return
+	}
+	f.queue = f.queue[acked:]
+	f.base = c.Expected
+	f.sent -= acked
+	if len(f.queue) == 0 {
+		f.timerID++ // cancel timer
+		if f.Done != nil {
+			done := f.Done
+			f.Done = nil
+			done()
+		}
+		return
+	}
+	f.pump(false)
+}
+
+// FARM is the on-board receiver state machine for one virtual channel.
+type FARM struct {
+	down *Endpoint // space downlink endpoint (for CLCWs)
+	vc   byte
+
+	expected byte
+
+	// Deliver is invoked, in order, with each accepted AD payload.
+	Deliver func(data []byte)
+	// DeliverExpress is invoked with each BD payload.
+	DeliverExpress func(data []byte)
+
+	accepted  int
+	discarded int
+}
+
+// NewFARM creates the receiver; CLCWs are sent through downlink.
+func NewFARM(downlink *Endpoint, vc byte) *FARM {
+	return &FARM{down: downlink, vc: vc}
+}
+
+// Counters returns accepted and discarded AD frame counts.
+func (fa *FARM) Counters() (accepted, discarded int) {
+	return fa.accepted, fa.discarded
+}
+
+// HandleFrame processes a raw received uplink frame (CRC-failed frames
+// should not reach here; the caller drops them).
+func (fa *FARM) HandleFrame(fr *Frame) {
+	if fr.VC != fa.vc {
+		return
+	}
+	switch fr.Type {
+	case FrameBD:
+		if fa.DeliverExpress != nil {
+			fa.DeliverExpress(fr.Payload)
+		}
+	case FrameAD:
+		if fr.Seq == fa.expected {
+			fa.expected++
+			fa.accepted++
+			if fa.Deliver != nil {
+				fa.Deliver(fr.Payload)
+			}
+		} else {
+			fa.discarded++
+		}
+		// Report state on every AD frame.
+		clcw := &Frame{VC: fa.vc, Type: FrameCLCW, Payload: CLCW{VC: fa.vc, Expected: fa.expected}.Marshal()}
+		fa.down.Send(clcw.Marshal())
+	}
+}

@@ -1,0 +1,73 @@
+package tmtc
+
+import "repro/internal/sim"
+
+// FrameMux demultiplexes received frames by virtual channel — the "data
+// routing service" of §3.3: "these ones are transferred over virtual
+// channel. Some virtual channels may be dedicated to the reconfiguration
+// procedure."
+type FrameMux struct {
+	handlers map[byte]func(*Frame)
+	// CRCDropped counts frames discarded by the error-controlled path.
+	CRCDropped int
+	// Unrouted counts frames for unregistered virtual channels.
+	Unrouted int
+}
+
+// NewFrameMux creates an empty demultiplexer.
+func NewFrameMux() *FrameMux {
+	return &FrameMux{handlers: make(map[byte]func(*Frame))}
+}
+
+// Register installs the handler for a virtual channel.
+func (m *FrameMux) Register(vc byte, h func(*Frame)) { m.handlers[vc] = h }
+
+// Attach sets the endpoint's Receive callback to parse, CRC-check and
+// route frames.
+func (m *FrameMux) Attach(end *Endpoint) {
+	end.Receive = func(data []byte) {
+		fr, err := UnmarshalFrame(data)
+		if err != nil {
+			m.CRCDropped++
+			return
+		}
+		h, ok := m.handlers[fr.VC]
+		if !ok {
+			m.Unrouted++
+			return
+		}
+		h(fr)
+	}
+}
+
+// Channel is an assembled bidirectional telecommand channel on one
+// virtual channel id: ground FOP, space FARM, CLCW return routing.
+type Channel struct {
+	FOP  *FOP
+	FARM *FARM
+}
+
+// NewChannel wires a controlled+express channel across the link and
+// registers routing on both muxes.
+func NewChannel(s *sim.Simulator, link *Link, groundMux, spaceMux *FrameMux, vc byte, window int, timeout float64) *Channel {
+	fop := NewFOP(s, link.End(Ground), vc, window, timeout)
+	farm := NewFARM(link.End(Space), vc)
+	ch := &Channel{FOP: fop, FARM: farm}
+	spaceMux.Register(vc, farm.HandleFrame)
+	groundMux.Register(vc, ch.RouteCLCW)
+	return ch
+}
+
+// RouteCLCW forwards a ground-received TM frame's CLCW (if any) to the
+// FOP. Callers that re-register the ground handler (e.g. to also capture
+// telemetry frames on the same virtual channel) must keep calling this.
+func (c *Channel) RouteCLCW(fr *Frame) {
+	if fr.Type != FrameCLCW {
+		return
+	}
+	clcw, err := UnmarshalCLCW(fr.Payload)
+	if err != nil {
+		return
+	}
+	c.FOP.HandleCLCW(clcw)
+}
