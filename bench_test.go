@@ -5,11 +5,18 @@ package repro
 // meaningful) parameters; cmd/experiments runs the full-size versions.
 
 import (
+	"fmt"
 	"io"
+	"math"
+	"math/rand"
 	"testing"
 
+	"repro/internal/dsp"
 	"repro/internal/experiments"
+	"repro/internal/fec"
 	"repro/internal/gates"
+	"repro/internal/modem"
+	"repro/internal/payload"
 )
 
 func BenchmarkE1_Table1_DeviceCharacteristics(b *testing.B) {
@@ -101,6 +108,86 @@ func BenchmarkE6c_PayloadAvailability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tab := experiments.E6PayloadAvailabilityComparison(30, int64(i)+1)
 		tab.Print(io.Discard)
+	}
+}
+
+// BenchmarkProcessFrame measures the per-carrier receive pipeline: one
+// MF-TDMA frame (demod + decode + switch for every carrier) on the
+// sequential per-carrier loop versus the concurrent batch path, at 1
+// and 8 carriers. The speedup at 8 carriers tracks min(GOMAXPROCS, 8).
+func BenchmarkProcessFrame(b *testing.B) {
+	makeFrame := func(carriers int) (*payload.Payload, []dsp.Vec, int) {
+		cfg := payload.DefaultConfig()
+		cfg.Carriers = carriers
+		pl, err := payload.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pl.SetWaveform(payload.ModeTDMA); err != nil {
+			b.Fatal(err)
+		}
+		if err := pl.SetCodec("conv-r1/2-k9"); err != nil {
+			b.Fatal(err)
+		}
+		codec, err := pl.Codec()
+		if err != nil {
+			b.Fatal(err)
+		}
+		const infoLen = 180
+		need := codec.EncodedLen(infoLen)
+		pl.SetBurstCodedBits(need)
+		f := pl.BurstFormat()
+		mod := modem.NewBurstModulator(f, 0.35, 4, 10)
+		rng := rand.New(rand.NewSource(1))
+		rx := make([]dsp.Vec, carriers)
+		for c := range rx {
+			info := make([]byte, infoLen)
+			for i := range info {
+				info[i] = byte(rng.Intn(2))
+			}
+			coded := codec.Encode(info)
+			padded := make([]byte, f.PayloadBits())
+			copy(padded, coded)
+			ch := dsp.NewChannelWith(int64(c)+1, 9+10*math.Log10(2*codec.Rate()), 4)
+			rx[c] = ch.Apply(mod.Modulate(padded))
+		}
+		return pl, rx, need
+	}
+	for _, carriers := range []int{1, 8} {
+		pl, rx, need := makeFrame(carriers)
+		b.Run(fmt.Sprintf("sequential-%dcarrier", carriers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				for c := range rx {
+					soft, err := pl.DemodulateCarrier(c, rx[c])
+					if err != nil {
+						b.Fatal(err)
+					}
+					bits, err := pl.Decode(soft[:need])
+					if err != nil {
+						b.Fatal(err)
+					}
+					pl.Switch().Route(0, fec.PackBits(bits))
+				}
+				pl.Switch().Drain(0)
+			}
+		})
+		b.Run(fmt.Sprintf("concurrent-%dcarrier", carriers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := pl.ProcessFrame(0, rx); err != nil {
+					b.Fatal(err)
+				}
+				pl.Switch().Drain(0)
+			}
+		})
+	}
+}
+
+// BenchmarkE10_FramePipeline regenerates the E10 latency/speedup table
+// at reduced size.
+func BenchmarkE10_FramePipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.E10Pipeline([]int{1, 4}, 2, int64(i)+1)
+		res.Table.Print(io.Discard)
 	}
 }
 

@@ -1,6 +1,6 @@
 // Command experiments regenerates every table and figure of the paper's
-// evaluation (DESIGN.md §4) and prints them in paper-shaped form. The
-// output of a full run is recorded in EXPERIMENTS.md.
+// evaluation (see the experiment index in DESIGN.md) and prints them in
+// paper-shaped form.
 //
 // Usage:
 //
@@ -19,7 +19,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced sample sizes (~10s total)")
-	only := flag.String("only", "", "run a single experiment (E1..E8)")
+	only := flag.String("only", "", "run a single experiment (E1..E10, ablations)")
 	flag.Parse()
 
 	run := func(id string) bool {
@@ -75,13 +75,23 @@ func main() {
 		experiments.E9Power().Print(out)
 		experiments.E6PayloadAvailabilityComparison(campaign, 9).Print(out)
 	}
+	if run("E10") {
+		frames := 20
+		if *quick {
+			frames = 5
+		}
+		experiments.E10Pipeline([]int{1, 2, 4, 8}, frames, 11).Table.Print(out)
+	}
 	if run("ablations") {
 		bursts := 40
+		frames := 10
 		if *quick {
 			bursts = 10
+			frames = 4
 		}
 		experiments.AblationTiming([]int{64, 256, 1024}, bursts, 10, 3).Print(out)
 		experiments.AblationScrubbers(campaign, 4).Print(out)
 		experiments.AblationTCModes(5).Print(out)
+		experiments.AblationPipelineWorkers([]int{1, 2, 4, 8}, 6, frames, 12).Print(out)
 	}
 }

@@ -1,7 +1,10 @@
 // Command payloadsim runs uplink traffic through the regenerative payload
 // (Fig 2): modulate user data in the selected waveform, pass it through
 // an AWGN channel, and let the payload demodulate, decode and switch it,
-// printing the resulting error rates and switch statistics.
+// printing the resulting error rates and switch statistics. Packets are
+// grouped into MF-TDMA frames of one burst per carrier and received on
+// the concurrent batch path (Payload.ProcessFrame), one worker per
+// carrier as on the FPGA bank.
 //
 // Usage:
 //
@@ -65,52 +68,59 @@ func main() {
 	fmt.Printf("payload: %s partitioning, waveform=%s codec=%s Eb/N0=%.1f dB\n",
 		cfg.Strategy, pl.Mode(), c.Name(), *ebn0)
 
+	// Per-packet info size and the codeword length the frame pipeline
+	// should trim each burst to before decoding.
+	infoLen := 128
+	if mode == payload.ModeTDMA {
+		infoLen = infoBitsFor(c, pl.BurstFormat().PayloadBits())
+	}
+	pl.SetBurstCodedBits(c.EncodedLen(infoLen))
+
+	// Synthesize one burst per packet, then receive them frame by frame
+	// (one burst per carrier) on the concurrent batch path.
 	rng := rand.New(rand.NewSource(*seed))
 	totalBits, errBits, lost := 0, 0, 0
-	for p := 0; p < *packets; p++ {
-		var rx dsp.Vec
-		var info []byte
+	makeBurst := func(p int) (dsp.Vec, []byte) {
+		info := randBits(rng, infoLen)
+		coded := c.Encode(info)
 		if mode == payload.ModeCDMA {
-			// Size the info so the coded stream fills whole symbols.
-			info = randBits(rng, 128)
-			coded := c.Encode(info)
 			if len(coded)%2 != 0 {
 				coded = append(coded, 0)
 			}
 			mod := cdma.NewModulator(cfg.CDMA)
-			rx = mod.Modulate(coded)
+			rx := mod.Modulate(coded)
 			ebn0lin := math.Pow(10, *ebn0/10) * c.Rate()
 			n0 := float64(cfg.CDMA.SF) / (2 * ebn0lin)
 			ch := dsp.NewChannel(*seed + int64(p))
 			ch.AWGN(rx, n0)
-		} else {
-			f := pl.BurstFormat()
-			k := infoBitsFor(c, f.PayloadBits())
-			info = randBits(rng, k)
-			coded := c.Encode(info)
-			padded := make([]byte, f.PayloadBits())
-			copy(padded, coded)
-			mod := modem.NewBurstModulator(f, 0.35, 4, 10)
-			rx = dsp.NewChannelWith(*seed+int64(p), *ebn0+10*math.Log10(2*c.Rate()), 4).Apply(mod.Modulate(padded))
+			return rx, info
 		}
-		soft, err := pl.DemodulateCarrier(p%cfg.Carriers, rx)
-		if err != nil {
-			lost++
-			continue
+		f := pl.BurstFormat()
+		padded := make([]byte, f.PayloadBits())
+		copy(padded, coded)
+		mod := modem.NewBurstModulator(f, 0.35, 4, 10)
+		rx := dsp.NewChannelWith(*seed+int64(p), *ebn0+10*math.Log10(2*c.Rate()), 4).Apply(mod.Modulate(padded))
+		return rx, info
+	}
+	for base := 0; base < *packets; base += cfg.Carriers {
+		n := cfg.Carriers
+		if base+n > *packets {
+			n = *packets - base
 		}
-		need := c.EncodedLen(len(info))
-		if len(soft) < need {
-			lost++
-			continue
+		frame := make([]dsp.Vec, n)
+		infos := make([][]byte, n)
+		for i := range frame {
+			frame[i], infos[i] = makeBurst(base + i)
 		}
-		dec, err := pl.Decode(soft[:need])
-		if err != nil {
-			lost++
-			continue
+		dec, _ := pl.ProcessFrame(base/cfg.Carriers%4, frame)
+		for i, d := range dec {
+			if d == nil || len(d) < infoLen {
+				lost++
+				continue
+			}
+			errBits += fec.CountBitErrors(infos[i], d[:infoLen])
+			totalBits += infoLen
 		}
-		errBits += fec.CountBitErrors(info, dec[:len(info)])
-		totalBits += len(info)
-		pl.Switch().Route(p%4, fec.PackBits(dec[:len(info)]))
 	}
 
 	fmt.Printf("packets: %d sent, %d lost\n", *packets, lost)

@@ -6,8 +6,8 @@
 // from a ground network control center over a TC/TM + IP + TFTP/SCPS-FP/
 // COPS protocol stack, under a radiation environment with SEU mitigation.
 //
-// See DESIGN.md for the system inventory and the per-experiment index,
-// and EXPERIMENTS.md for paper-vs-measured results. The root-level
-// benchmarks (bench_test.go) regenerate every table and figure; the same
-// code is runnable via cmd/experiments.
+// See DESIGN.md for the system inventory, the per-experiment index and
+// the architecture of the concurrent per-carrier receive pipeline. The
+// root-level benchmarks (bench_test.go) regenerate every table and
+// figure; the same code is runnable via cmd/experiments.
 package repro

@@ -9,6 +9,7 @@ import "math"
 type FIR struct {
 	taps []float64
 	hist Vec // most recent len(taps)-1 inputs, oldest first
+	ext  Vec // scratch: history ++ input, reused across calls
 }
 
 // NewFIR builds a streaming filter from taps. The taps slice is copied.
@@ -38,13 +39,29 @@ func (f *FIR) Reset() {
 // Process filters the block in and returns len(in) output samples
 // (the steady-state causal output; group delay is (len(taps)-1)/2 samples).
 func (f *FIR) Process(in Vec) Vec {
+	return f.ProcessInto(NewVec(len(in)), in)
+}
+
+// ProcessInto is the allocation-free variant of Process: it writes the
+// len(in) output samples into dst (which must be at least that long,
+// and must not alias in) and returns dst[:len(in)]. A FIR carries
+// stream history, so it serves one stream at a time; the internal
+// scratch buffer reuse is safe under that same constraint.
+func (f *FIR) ProcessInto(dst, in Vec) Vec {
 	n := len(f.taps)
+	if len(dst) < len(in) {
+		panic("dsp: FIR.ProcessInto dst too short")
+	}
 	// Build the extended buffer: history then input.
-	ext := make(Vec, len(f.hist)+len(in))
+	need := len(f.hist) + len(in)
+	if cap(f.ext) < need {
+		f.ext = make(Vec, need)
+	}
+	ext := f.ext[:need]
 	copy(ext, f.hist)
 	copy(ext[len(f.hist):], in)
 
-	out := NewVec(len(in))
+	dst = dst[:len(in)]
 	for i := range in {
 		// Output sample i uses ext[i .. i+n-1]; taps reversed.
 		var acc complex128
@@ -52,13 +69,13 @@ func (f *FIR) Process(in Vec) Vec {
 		for j := 0; j < n; j++ {
 			acc += ext[base+j] * complex(f.taps[n-1-j], 0)
 		}
-		out[i] = acc
+		dst[i] = acc
 	}
 	// Save new history.
 	if len(ext) >= n-1 {
 		copy(f.hist, ext[len(ext)-(n-1):])
 	}
-	return out
+	return dst
 }
 
 // GroupDelay returns the filter group delay in samples for symmetric taps.

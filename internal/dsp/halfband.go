@@ -43,8 +43,9 @@ func HalfBandTaps(ntaps int) []float64 {
 // HalfBandDecimator filters with a half-band lowpass and decimates by 2.
 // It is streaming: chunked input yields the same output as one-shot input.
 type HalfBandDecimator struct {
-	fir   *FIR
-	phase int // parity of the next input sample (0 = keep filtered output)
+	fir     *FIR
+	phase   int // parity of the next input sample (0 = keep filtered output)
+	scratch Vec // filtered block, reused across calls
 }
 
 // NewHalfBandDecimator builds a decimator with an ntaps half-band filter.
@@ -52,17 +53,39 @@ func NewHalfBandDecimator(ntaps int) *HalfBandDecimator {
 	return &HalfBandDecimator{fir: NewFIR(HalfBandTaps(ntaps))}
 }
 
+// OutLen returns how many samples the next Process call will emit for a
+// block of n input samples, given the current decimation phase.
+func (d *HalfBandDecimator) OutLen(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	// Count of i in [0, n) with (phase+i) even.
+	return (n + 1 - d.phase%2) / 2
+}
+
 // Process filters and decimates a block, returning roughly len(in)/2 samples.
 func (d *HalfBandDecimator) Process(in Vec) Vec {
-	filtered := d.fir.Process(in)
-	out := NewVec(0)
+	return d.ProcessInto(NewVec(d.OutLen(len(in))), in)
+}
+
+// ProcessInto is the allocation-free variant of Process: it writes the
+// decimated output into dst (at least OutLen(len(in)) long, not
+// aliasing in) and returns the filled prefix. Like the underlying FIR,
+// a decimator serves one stream at a time.
+func (d *HalfBandDecimator) ProcessInto(dst, in Vec) Vec {
+	if cap(d.scratch) < len(in) {
+		d.scratch = make(Vec, len(in))
+	}
+	filtered := d.fir.ProcessInto(d.scratch[:len(in)], in)
+	k := 0
 	for i := range filtered {
 		if (d.phase+i)%2 == 0 {
-			out = append(out, filtered[i])
+			dst[k] = filtered[i]
+			k++
 		}
 	}
 	d.phase = (d.phase + len(in)) % 2
-	return out
+	return dst[:k]
 }
 
 // Reset clears filter history and decimation phase.
@@ -75,6 +98,7 @@ func (d *HalfBandDecimator) Reset() {
 // as used between the payload IF stages and baseband.
 type DecimationChain struct {
 	stages []*HalfBandDecimator
+	bufs   []Vec // per-stage intermediate outputs, reused across calls
 }
 
 // NewDecimationChain builds a chain of k half-band stages of ntaps each.
@@ -97,6 +121,37 @@ func (c *DecimationChain) Process(in Vec) Vec {
 	v := in
 	for _, s := range c.stages {
 		v = s.Process(v)
+	}
+	return v
+}
+
+// OutLen returns how many samples the next Process call will emit for n
+// input samples, given every stage's current phase.
+func (c *DecimationChain) OutLen(n int) int {
+	for _, s := range c.stages {
+		n = s.OutLen(n)
+	}
+	return n
+}
+
+// ProcessInto is the allocation-free variant of Process: intermediate
+// stage outputs land in chain-owned scratch buffers and the final stage
+// writes into dst (at least OutLen(len(in)) long, not aliasing in).
+func (c *DecimationChain) ProcessInto(dst, in Vec) Vec {
+	if c.bufs == nil {
+		c.bufs = make([]Vec, len(c.stages))
+	}
+	v := in
+	for i, s := range c.stages {
+		if i == len(c.stages)-1 {
+			v = s.ProcessInto(dst, v)
+			break
+		}
+		need := s.OutLen(len(v))
+		if cap(c.bufs[i]) < need {
+			c.bufs[i] = make(Vec, need)
+		}
+		v = s.ProcessInto(c.bufs[i][:need], v)
 	}
 	return v
 }

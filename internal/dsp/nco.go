@@ -48,11 +48,18 @@ func (o *NCO) Block(n int) Vec {
 
 // Mix multiplies the input block by the oscillator (frequency translation).
 func (o *NCO) Mix(in Vec) Vec {
-	out := NewVec(len(in))
+	return o.MixInto(NewVec(len(in)), in)
+}
+
+// MixInto is the allocation-free variant of Mix: it writes the mixed
+// block into dst (at least len(in) long; dst == in is allowed) and
+// returns dst[:len(in)].
+func (o *NCO) MixInto(dst, in Vec) Vec {
+	dst = dst[:len(in)]
 	for i, s := range in {
-		out[i] = s * o.Next()
+		dst[i] = s * o.Next()
 	}
-	return out
+	return dst
 }
 
 func wrapPhase(p float64) float64 {
@@ -73,6 +80,8 @@ type DDC struct {
 	lp     *FIR
 	decim  int
 	dPhase int
+	mixed  Vec // scratch: mixer output, reused across calls
+	filt   Vec // scratch: channel-filter output, reused across calls
 }
 
 // NewDDC builds a down-converter that translates a carrier at normalized
@@ -92,21 +101,54 @@ func NewDDC(freq, cutoff float64, ntaps, decim int) *DDC {
 // Decimation returns the decimation factor.
 func (d *DDC) Decimation() int { return d.decim }
 
+// OutLen returns how many samples the next Process call will emit for a
+// block of n input samples, given the current decimation phase.
+func (d *DDC) OutLen(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	if d.decim == 1 {
+		return n
+	}
+	// Count of i in [0, n) with (dPhase+i) ≡ 0 (mod decim).
+	first := (d.decim - d.dPhase%d.decim) % d.decim
+	if first >= n {
+		return 0
+	}
+	return (n - first + d.decim - 1) / d.decim
+}
+
 // Process translates, filters and decimates a block.
 func (d *DDC) Process(in Vec) Vec {
-	mixed := d.nco.Mix(in)
-	filtered := d.lp.Process(mixed)
-	if d.decim == 1 {
-		return filtered
+	return d.ProcessInto(NewVec(d.OutLen(len(in))), in)
+}
+
+// ProcessInto is the allocation-free variant of Process: mixer and
+// channel-filter outputs land in DDC-owned scratch buffers and the
+// decimated baseband is written into dst (at least OutLen(len(in))
+// long, not aliasing in). Like the FIR it wraps, a DDC serves one
+// stream at a time.
+func (d *DDC) ProcessInto(dst, in Vec) Vec {
+	if cap(d.mixed) < len(in) {
+		d.mixed = make(Vec, len(in))
 	}
-	out := NewVec(0)
+	mixed := d.nco.MixInto(d.mixed[:len(in)], in)
+	if d.decim == 1 {
+		return d.lp.ProcessInto(dst, mixed)
+	}
+	if cap(d.filt) < len(in) {
+		d.filt = make(Vec, len(in))
+	}
+	filtered := d.lp.ProcessInto(d.filt[:len(in)], mixed)
+	k := 0
 	for i := range filtered {
 		if (d.dPhase+i)%d.decim == 0 {
-			out = append(out, filtered[i])
+			dst[k] = filtered[i]
+			k++
 		}
 	}
 	d.dPhase = (d.dPhase + len(in)) % d.decim
-	return out
+	return dst[:k]
 }
 
 // DUC is a digital up-converter: zero-stuff interpolation, image-reject

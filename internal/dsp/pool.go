@@ -1,0 +1,44 @@
+package dsp
+
+import "sync"
+
+// Block allocator for sample vectors. The per-carrier receive pipeline
+// processes one baseband block per burst per carrier; recycling those
+// blocks through a sync.Pool keeps the steady-state hot path (mix,
+// filter, decimate) allocation-free regardless of how many carriers are
+// in flight. Blocks cycle between two pools: vecPool holds boxes with a
+// buffer attached, boxPool holds empty boxes, so neither Get nor Put
+// allocates once warm.
+
+type vecBox struct{ v Vec }
+
+var (
+	vecPool = sync.Pool{New: func() any { return &vecBox{} }}
+	boxPool = sync.Pool{New: func() any { return &vecBox{} }}
+)
+
+// GetVec returns a length-n block from the pool, growing a recycled
+// buffer if needed. Contents are unspecified; callers must overwrite
+// every sample (all pipeline stages do).
+func GetVec(n int) Vec {
+	box := vecPool.Get().(*vecBox)
+	v := box.v
+	box.v = nil
+	boxPool.Put(box)
+	if cap(v) < n {
+		return make(Vec, n)
+	}
+	return v[:n]
+}
+
+// PutVec recycles a block obtained from GetVec (or anywhere else — the
+// pool does not care about provenance). The caller must not use v after
+// the call.
+func PutVec(v Vec) {
+	if cap(v) == 0 {
+		return
+	}
+	box := boxPool.Get().(*vecBox)
+	box.v = v[:0]
+	vecPool.Put(box)
+}

@@ -62,6 +62,7 @@ func rrcPoint(t, beta float64) float64 {
 type PulseShaper struct {
 	fir *FIR
 	sps int
+	up  Vec // scratch: zero-stuffed symbols, reused across calls
 }
 
 // NewPulseShaper builds a transmit shaper with the given RRC parameters.
@@ -83,6 +84,24 @@ func (p *PulseShaper) Process(symbols Vec) Vec {
 	return p.fir.Process(up)
 }
 
+// ProcessInto is the allocation-free variant of Process: it writes the
+// sps*len(symbols) shaped samples into dst (at least that long, not
+// aliasing symbols) and returns the filled prefix.
+func (p *PulseShaper) ProcessInto(dst, symbols Vec) Vec {
+	n := len(symbols) * p.sps
+	if cap(p.up) < n {
+		p.up = make(Vec, n)
+	}
+	up := p.up[:n]
+	for i := range up {
+		up[i] = 0
+	}
+	for i, s := range symbols {
+		up[i*p.sps] = s
+	}
+	return p.fir.ProcessInto(dst, up)
+}
+
 // Reset clears the shaper state.
 func (p *PulseShaper) Reset() { p.fir.Reset() }
 
@@ -99,6 +118,11 @@ func NewMatchedFilter(beta float64, sps, span int) *MatchedFilter {
 
 // Process filters a received block at sample rate.
 func (m *MatchedFilter) Process(in Vec) Vec { return m.fir.Process(in) }
+
+// ProcessInto is the allocation-free variant of Process: it writes the
+// len(in) filtered samples into dst (at least that long, not aliasing
+// in) and returns the filled prefix.
+func (m *MatchedFilter) ProcessInto(dst, in Vec) Vec { return m.fir.ProcessInto(dst, in) }
 
 // GroupDelay returns the filter delay in samples.
 func (m *MatchedFilter) GroupDelay() float64 { return m.fir.GroupDelay() }

@@ -1,0 +1,34 @@
+package experiments
+
+import "testing"
+
+func TestE10PipelineShape(t *testing.T) {
+	res := E10Pipeline([]int{1, 2}, 2, 5)
+	if len(res.Table.Rows) != 2 {
+		t.Fatalf("rows %d", len(res.Table.Rows))
+	}
+	for _, nc := range []int{1, 2} {
+		if res.Speedup[nc] <= 0 {
+			t.Fatalf("%d carriers: speedup %v", nc, res.Speedup[nc])
+		}
+	}
+	// The experiment asserts bit-exactness internally (it panics on a
+	// mismatch) and reports it in the last column.
+	for _, r := range res.Table.Rows {
+		if r.Values[3] != "true" {
+			t.Fatalf("row %q not bit-exact: %v", r.Label, r.Values)
+		}
+	}
+}
+
+func TestAblationPipelineWorkersShape(t *testing.T) {
+	tab := AblationPipelineWorkers([]int{1, 4}, 3, 2, 6)
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows %d", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r.Values[1] != "true" {
+			t.Fatalf("%q: worker width changed the decoded bits", r.Label)
+		}
+	}
+}

@@ -37,11 +37,19 @@ func (a *ADC) Bits() int { return a.bits }
 
 // Convert quantizes a block.
 func (a *ADC) Convert(in dsp.Vec) dsp.Vec {
-	out := dsp.NewVec(len(in))
+	return a.ConvertInto(dsp.NewVec(len(in)), in)
+}
+
+// ConvertInto is the allocation-free variant of Convert: it writes the
+// quantized block into dst (at least len(in) long; dst == in is
+// allowed) and returns dst[:len(in)]. An ADC holds no per-stream state,
+// so one converter may serve many element streams concurrently.
+func (a *ADC) ConvertInto(dst, in dsp.Vec) dsp.Vec {
+	dst = dst[:len(in)]
 	for i, s := range in {
-		out[i] = complex(a.q(real(s)), a.q(imag(s)))
+		dst[i] = complex(a.q(real(s)), a.q(imag(s)))
 	}
-	return out
+	return dst
 }
 
 func (a *ADC) q(x float64) float64 {

@@ -1,6 +1,9 @@
 package frontend
 
-import "repro/internal/dsp"
+import (
+	"repro/internal/dsp"
+	"repro/internal/pipeline"
+)
 
 // Demux is the payload demultiplexer (Fig 2): it splits a wideband
 // multi-carrier uplink into per-carrier baseband streams using a bank of
@@ -50,11 +53,17 @@ func NewDemux(plan CarrierPlan, ntaps int) *Demux {
 func (d *Demux) Plan() CarrierPlan { return d.plan }
 
 // Process splits a wideband block into per-carrier baseband streams.
+// The DDC bank fans out across the pipeline worker pool — one chain per
+// carrier, as in the FPGA DEMUX — and each carrier writes only its own
+// DDC state and output slot, so the result is bit-identical to a
+// sequential loop. Output blocks come from the dsp block pool; callers
+// done with a block may dsp.PutVec it to complete the recycling loop.
 func (d *Demux) Process(wideband dsp.Vec) []dsp.Vec {
 	out := make([]dsp.Vec, len(d.ddcs))
-	for c, ddc := range d.ddcs {
-		out[c] = ddc.Process(wideband)
-	}
+	pipeline.ForEach(len(d.ddcs), func(c int) {
+		ddc := d.ddcs[c]
+		out[c] = ddc.ProcessInto(dsp.GetVec(ddc.OutLen(len(wideband))), wideband)
+	})
 	return out
 }
 

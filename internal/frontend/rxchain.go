@@ -1,6 +1,9 @@
 package frontend
 
-import "repro/internal/dsp"
+import (
+	"repro/internal/dsp"
+	"repro/internal/pipeline"
+)
 
 // RxFrontEnd composes the Fig 2 receive front end: per-element ADCs, the
 // digital beam-forming network, and the demultiplexer splitting the beam
@@ -32,12 +35,18 @@ func (fe *RxFrontEnd) Elements() int { return fe.dbfn.Elements() }
 func (fe *RxFrontEnd) Plan() CarrierPlan { return fe.demux.Plan() }
 
 // Process converts the antenna-element sample streams into per-carrier
-// baseband: quantize each element, beamform, demultiplex.
+// baseband: quantize each element, beamform, demultiplex. Element
+// quantization and the DDC bank both fan out across the pipeline worker
+// pool; the ADC is stateless and each element/carrier writes only its
+// own slot, so the output is bit-identical to the sequential chain.
 func (fe *RxFrontEnd) Process(elements []dsp.Vec) []dsp.Vec {
 	quantized := make([]dsp.Vec, len(elements))
-	for i, e := range elements {
-		quantized[i] = fe.adc.Convert(e)
-	}
+	pipeline.ForEach(len(elements), func(i int) {
+		quantized[i] = fe.adc.ConvertInto(dsp.GetVec(len(elements[i])), elements[i])
+	})
 	beam := fe.dbfn.Form(fe.beam, quantized)
+	for _, q := range quantized {
+		dsp.PutVec(q)
+	}
 	return fe.demux.Process(beam)
 }

@@ -162,10 +162,13 @@ func NewBurstDemodulator(f BurstFormat, beta float64, sps, span int, mode Timing
 	}
 }
 
-// Demodulate processes a received waveform containing one burst.
+// Demodulate processes a received waveform containing one burst. The
+// demodulator is fully reset per call, so a recycled instance (e.g. from
+// the payload's demodulator pool) produces output bit-identical to a
+// freshly constructed one.
 func (d *BurstDemodulator) Demodulate(rx dsp.Vec) BurstResult {
 	d.mf.Reset()
-	filtered := d.mf.Process(rx)
+	filtered := d.mf.ProcessInto(dsp.GetVec(len(rx)), rx)
 
 	var syms dsp.Vec
 	switch d.mode {
@@ -176,6 +179,7 @@ func (d *BurstDemodulator) Demodulate(rx dsp.Vec) BurstResult {
 		om := NewOerderMeyr(d.sps)
 		syms, _ = om.Recover(filtered)
 	}
+	dsp.PutVec(filtered)
 
 	res := BurstResult{TimingUsed: d.mode}
 	uw := d.fmt.UWSymbols()

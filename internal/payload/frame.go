@@ -2,6 +2,7 @@ package payload
 
 import (
 	"repro/internal/modem"
+	"repro/internal/pipeline"
 )
 
 // Frame-level MF-TDMA reception: the return link of Fig 2 is organized
@@ -21,10 +22,15 @@ type BurstReceipt struct {
 
 // ReceiveFrame demodulates the assigned cells of an MF-TDMA frame. The
 // composer must have been built at the payload's TDMA oversampling
-// (4 samples/symbol). Unassigned cells are not touched.
+// (4 samples/symbol). Unassigned cells are not touched. Cells fan out
+// across the pipeline worker pool — several bursts on the same carrier
+// are fine, since each worker draws its own demodulator instance — and
+// every cell writes only its own receipt, so the result is
+// bit-identical to a sequential loop over the assignments.
 func (p *Payload) ReceiveFrame(fc *modem.FrameComposer, assignments []modem.SlotAssignment) []BurstReceipt {
-	out := make([]BurstReceipt, 0, len(assignments))
-	for _, a := range assignments {
+	out := make([]BurstReceipt, len(assignments))
+	pipeline.ForEach(len(assignments), func(i int) {
+		a := assignments[i]
 		r := BurstReceipt{Assignment: a}
 		soft, err := p.DemodulateCarrier(a.Carrier, fc.SlotWaveform(a))
 		if err != nil {
@@ -33,8 +39,8 @@ func (p *Payload) ReceiveFrame(fc *modem.FrameComposer, assignments []modem.Slot
 			r.Found = true
 			r.Soft = soft
 		}
-		out = append(out, r)
-	}
+		out[i] = r
+	})
 	return out
 }
 

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/cdma"
 	"repro/internal/dsp"
@@ -71,6 +72,18 @@ type Payload struct {
 	sw  *PacketSwitch
 
 	burstFormat modem.BurstFormat
+
+	// Demodulator pools: the burst format and CDMA parameters are fixed
+	// at boot, so recycled demodulators (which fully reset per burst)
+	// stand in for the bank of identical per-carrier FPGA chains. The
+	// pools avoid redesigning RRC taps for every burst and let any
+	// number of concurrent workers demodulate without shared state.
+	tdmaDemods sync.Pool
+	cdmaDemods sync.Pool
+
+	// codedBits bounds the soft bits fed to the decoder per burst
+	// (0 = decode the whole burst payload); see SetBurstCodedBits.
+	codedBits int
 }
 
 // New boots a payload.
@@ -82,13 +95,25 @@ func New(cfg Config) (*Payload, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Payload{
+	p := &Payload{
 		cfg:         cfg,
 		cs:          cs,
 		sw:          NewPacketSwitch(),
 		burstFormat: modem.DefaultBurstFormat(cfg.TDMAPayloadSymbols),
-	}, nil
+	}
+	p.tdmaDemods.New = func() any {
+		return modem.NewBurstDemodulator(p.burstFormat, 0.35, 4, 10, modem.TimingOerderMeyr)
+	}
+	p.cdmaDemods.New = func() any { return cdma.NewDemodulator(p.cfg.CDMA) }
+	return p, nil
 }
+
+// SetBurstCodedBits declares how many soft bits of each burst carry the
+// codeword (the rest of the burst payload is padding); the frame
+// pipeline trims decoder input accordingly. Zero (the default) decodes
+// the whole burst. Set it once at link configuration time, before
+// frames are processed.
+func (p *Payload) SetBurstCodedBits(n int) { p.codedBits = n }
 
 // Chipset exposes the FPGA set (the OBC registers these devices).
 func (p *Payload) Chipset() *Chipset { return p.cs }
@@ -234,25 +259,37 @@ var ErrServiceDown = errors.New("payload: service down")
 // DemodulateCarrier runs the active demodulator on one carrier's
 // baseband block, returning soft bits. It fails if the DEMOD (or DEMUX)
 // function is unhealthy — which is exactly what happens during a
-// reconfiguration or after an unscrubbed SEU.
+// reconfiguration or after an unscrubbed SEU. It is a thin single-
+// carrier wrapper over the same demodulator bank the frame pipeline
+// uses, so sequential and batch reception are bit-identical.
 func (p *Payload) DemodulateCarrier(carrier int, rx dsp.Vec) ([]float64, error) {
 	if carrier < 0 || carrier >= p.cfg.Carriers {
 		return nil, errors.New("payload: carrier out of range")
 	}
+	return p.demodulate(rx)
+}
+
+// demodulate runs one burst through a pooled instance of the active
+// waveform's demodulator. Demodulators reset fully per burst, so any
+// worker may use any pooled instance; concurrent callers never share
+// one because sync.Pool hands an instance to one goroutine at a time.
+func (p *Payload) demodulate(rx dsp.Vec) ([]float64, error) {
 	if !p.cs.FunctionHealthy(FuncDemux) || !p.cs.FunctionHealthy(FuncDemod) {
 		return nil, ErrServiceDown
 	}
 	switch p.Mode() {
 	case ModeCDMA:
-		dem := cdma.NewDemodulator(p.cfg.CDMA)
+		dem := p.cdmaDemods.Get().(*cdma.Demodulator)
 		soft := dem.Demodulate(rx, 64)
+		p.cdmaDemods.Put(dem)
 		if soft == nil {
 			return nil, errors.New("payload: CDMA acquisition failed")
 		}
 		return soft, nil
 	case ModeTDMA:
-		dem := modem.NewBurstDemodulator(p.burstFormat, 0.35, 4, 10, modem.TimingOerderMeyr)
+		dem := p.tdmaDemods.Get().(*modem.BurstDemodulator)
 		res := dem.Demodulate(rx)
+		p.tdmaDemods.Put(dem)
 		if !res.Found {
 			return nil, errors.New("payload: TDMA burst not found")
 		}
@@ -274,15 +311,31 @@ func (p *Payload) Decode(soft []float64) ([]byte, error) {
 	return codec.Decode(soft), nil
 }
 
+// decodeBurst trims a burst's soft bits to the configured codeword
+// length and decodes them — the DECOD stage shared by the sequential
+// wrappers and the frame pipeline. A burst that came up short (e.g. a
+// CDMA misacquisition eating the first chips) cannot carry the
+// codeword and is rejected rather than fed truncated to the decoder.
+func (p *Payload) decodeBurst(soft []float64) ([]byte, error) {
+	if p.codedBits > 0 {
+		if len(soft) < p.codedBits {
+			return nil, fmt.Errorf("payload: burst carries %d soft bits, codeword needs %d", len(soft), p.codedBits)
+		}
+		soft = soft[:p.codedBits]
+	}
+	return p.Decode(soft)
+}
+
 // ReceiveAndRoute demodulates a carrier, decodes, and routes the
 // resulting packet to the given downlink beam — one full regenerative
-// hop through the payload.
+// hop through the payload. It is the thin single-carrier wrapper over
+// the same DEMOD/DECOD/switch stages ProcessFrame fans out per carrier.
 func (p *Payload) ReceiveAndRoute(carrier int, rx dsp.Vec, beam int) ([]byte, error) {
 	soft, err := p.DemodulateCarrier(carrier, rx)
 	if err != nil {
 		return nil, err
 	}
-	bits, err := p.Decode(soft)
+	bits, err := p.decodeBurst(soft)
 	if err != nil {
 		return nil, err
 	}
