@@ -14,9 +14,11 @@ import (
 	"repro/internal/dsp"
 	"repro/internal/experiments"
 	"repro/internal/fec"
+	"repro/internal/frontend"
 	"repro/internal/gates"
 	"repro/internal/modem"
 	"repro/internal/payload"
+	"repro/internal/traffic"
 )
 
 func BenchmarkE1_Table1_DeviceCharacteristics(b *testing.B) {
@@ -179,6 +181,136 @@ func BenchmarkProcessFrame(b *testing.B) {
 				pl.Switch().Drain(0)
 			}
 		})
+	}
+}
+
+// BenchmarkTransmitFrameGrid measures the downlink transmit pipeline:
+// one full (carrier, slot) grid (encode + modulate + DUC stack + DAC)
+// on the sequential reference versus the concurrent
+// Transmitter.TransmitFrameGrid, at 3 carriers x 4 slots. The speedup
+// tracks min(GOMAXPROCS, carriers).
+func BenchmarkTransmitFrameGrid(b *testing.B) {
+	const carriers = 3
+	const infoLen = 180
+	fcfg := modem.FrameConfig{Carriers: carriers, Slots: 4, SlotSymbols: 320, GuardSymbols: 16}
+	plan := frontend.CarrierPlan{Carriers: carriers, Spacing: 0.2, Decim: 4}
+	setup := func() (*payload.Payload, *payload.Transmitter, [][][]byte) {
+		cfg := payload.DefaultConfig()
+		cfg.Carriers = carriers
+		pl, err := payload.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := pl.SetWaveform(payload.ModeTDMA); err != nil {
+			b.Fatal(err)
+		}
+		if err := pl.SetCodec("conv-r1/2-k9"); err != nil {
+			b.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(3))
+		grid := make([][][]byte, carriers)
+		for c := range grid {
+			grid[c] = make([][]byte, fcfg.Slots)
+			for s := range grid[c] {
+				info := make([]byte, infoLen)
+				for i := range info {
+					info[i] = byte(rng.Intn(2))
+				}
+				grid[c][s] = info
+			}
+		}
+		return pl, payload.NewTransmitter(pl, plan), grid
+	}
+
+	b.Run("sequential", func(b *testing.B) {
+		pl, tx, grid := setup()
+		mod := modem.NewBurstModulator(pl.BurstFormat(), 0.35, plan.Decim, 10)
+		// A private DUC bank, not frontend.Mux: Mux.Process now fans out
+		// over the worker pool, so the baseline must re-create the
+		// strictly sequential pre-pipeline path by hand.
+		cutoff := plan.Spacing / 2 * 0.9
+		ducs := make([]*dsp.DUC, carriers)
+		for c := range ducs {
+			ducs[c] = dsp.NewDUC(plan.Freq(c), cutoff, 95, plan.Decim)
+		}
+		dac := frontend.NewDAC(12, 4)
+		slotLen := fcfg.SlotSymbols * plan.Decim
+		carrierLen := fcfg.Slots*slotLen + payload.TxTailMargin
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var wide dsp.Vec
+			for c := 0; c < carriers; c++ {
+				buf := dsp.NewVec(carrierLen)
+				for s, info := range grid[c] {
+					pb, err := tx.EncodeBurst(info)
+					if err != nil {
+						b.Fatal(err)
+					}
+					copy(buf[s*slotLen:], mod.Modulate(pb))
+				}
+				v := ducs[c].Process(buf)
+				if wide == nil {
+					wide = v
+				} else {
+					wide.Add(v)
+				}
+			}
+			dac.Convert(wide)
+		}
+	})
+	b.Run("concurrent", func(b *testing.B) {
+		_, tx, grid := setup()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			wide, err := tx.TransmitFrameGrid(fcfg, grid)
+			if err != nil {
+				b.Fatal(err)
+			}
+			dsp.PutVec(wide)
+		}
+	})
+}
+
+// BenchmarkTrafficEngine measures one full closed-loop frame of the
+// traffic engine (DAMA, uplink modulate + demod + decode + switch,
+// queue drain, downlink grid transmit) at a moderately loaded 3x4 grid.
+func BenchmarkTrafficEngine(b *testing.B) {
+	cfg := payload.DefaultConfig()
+	cfg.Carriers = 3
+	pl, err := payload.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pl.SetWaveform(payload.ModeTDMA); err != nil {
+		b.Fatal(err)
+	}
+	if err := pl.SetCodec("conv-r1/2-k9"); err != nil {
+		b.Fatal(err)
+	}
+	tcfg := traffic.DefaultConfig()
+	tcfg.Frame = modem.FrameConfig{Carriers: 3, Slots: 4, SlotSymbols: 320, GuardSymbols: 16}
+	tcfg.EbN0dB = 9
+	eng, err := traffic.New(pl, tcfg, []traffic.Terminal{
+		{ID: "t0", Beam: 0, Model: traffic.CBR{Cells: 2}},
+		{ID: "t1", Beam: 1, Model: traffic.CBR{Cells: 2}},
+		{ID: "t2", Beam: 2, Model: traffic.OnOff{On: 2, Off: 1, Cells: 2}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.RunFrames(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rep := eng.Report()
+	if rep.UplinkBitErrs != 0 {
+		b.Fatalf("%d uplink bit errors", rep.UplinkBitErrs)
 	}
 }
 

@@ -1,0 +1,122 @@
+// Command benchjson runs the repo's performance benchmarks and writes
+// the results as machine-readable JSON (ns/op, B/op, allocs/op), so the
+// perf trajectory of the pipeline and traffic-engine hot paths can be
+// tracked across PRs instead of living in commit messages. CI runs the
+// 1x smoke variant on every push; full runs use the go test defaults:
+//
+//	go run ./cmd/benchjson -out BENCH_PR2.json
+//	go run ./cmd/benchjson -benchtime 1x -out BENCH_PR2.json   # smoke
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/exec"
+	"regexp"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Result is one benchmark measurement.
+type Result struct {
+	Package     string  `json:"package"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// File is the BENCH_PR2.json layout.
+type File struct {
+	Generated  string   `json:"generated"`
+	GoVersion  string   `json:"go_version"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Pattern    string   `json:"pattern"`
+	Benchtime  string   `json:"benchtime,omitempty"`
+	Results    []Result `json:"results"`
+}
+
+// benchLine matches `BenchmarkName-8  100  12345 ns/op  67 B/op  8 allocs/op`
+// (the -benchmem columns are optional for benchmarks that disable them).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+func main() {
+	pattern := flag.String("bench", "BenchmarkProcessFrame|BenchmarkTransmitFrameGrid|BenchmarkTrafficEngine|ProcessInto|BenchmarkE10",
+		"benchmark regexp (the pipeline + traffic set by default)")
+	benchtime := flag.String("benchtime", "", "go test -benchtime value (e.g. 1x for a smoke run)")
+	pkgs := flag.String("pkgs", ".,./internal/dsp", "comma-separated packages to bench")
+	out := flag.String("out", "BENCH_PR2.json", "output file")
+	flag.Parse()
+
+	file := File{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Pattern:    *pattern,
+		Benchtime:  *benchtime,
+	}
+	for _, pkg := range strings.Split(*pkgs, ",") {
+		pkg = strings.TrimSpace(pkg)
+		if pkg == "" {
+			continue
+		}
+		res, err := runPackage(pkg, *pattern, *benchtime)
+		if err != nil {
+			log.Fatalf("%s: %v", pkg, err)
+		}
+		file.Results = append(file.Results, res...)
+	}
+	if len(file.Results) == 0 {
+		log.Fatalf("no benchmarks matched %q in %s", *pattern, *pkgs)
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %d results to %s\n", len(file.Results), *out)
+}
+
+// runPackage benches one package and parses the text output.
+func runPackage(pkg, pattern, benchtime string) ([]Result, error) {
+	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem"}
+	if benchtime != "" {
+		args = append(args, "-benchtime", benchtime)
+	}
+	args = append(args, pkg)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, buf.String())
+	}
+	var out []Result
+	for _, line := range strings.Split(buf.String(), "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		r := Result{Package: pkg, Name: m[1]}
+		r.Iterations, _ = strconv.Atoi(m[2])
+		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
+		if m[4] != "" {
+			r.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			r.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced sample sizes (~10s total)")
-	only := flag.String("only", "", "run a single experiment (E1..E10, ablations)")
+	only := flag.String("only", "", "run a single experiment (E1..E11, ablations)")
 	flag.Parse()
 
 	run := func(id string) bool {
@@ -82,6 +82,18 @@ func main() {
 		}
 		experiments.E10Pipeline([]int{1, 2, 4, 8}, frames, 11).Table.Print(out)
 	}
+	if run("E11") {
+		cfg := experiments.DefaultE11Config()
+		if *quick {
+			cfg.Frames = 20
+		}
+		res := experiments.E11Traffic(cfg)
+		res.Table.Print(out)
+		if !res.BitExact || !res.SwapOK {
+			fmt.Fprintf(out, "   E11 FAILED: bitExact=%v swapOK=%v\n", res.BitExact, res.SwapOK)
+			os.Exit(1)
+		}
+	}
 	if run("ablations") {
 		bursts := 40
 		frames := 10
@@ -93,5 +105,6 @@ func main() {
 		experiments.AblationScrubbers(campaign, 4).Print(out)
 		experiments.AblationTCModes(5).Print(out)
 		experiments.AblationPipelineWorkers([]int{1, 2, 4, 8}, 6, frames, 12).Print(out)
+		experiments.AblationTxWorkers([]int{1, 2, 4, 8}, frames, 13).Print(out)
 	}
 }

@@ -7,7 +7,9 @@
 // COPS protocol stack, under a radiation environment with SEU mitigation.
 //
 // See DESIGN.md for the system inventory, the per-experiment index and
-// the architecture of the concurrent per-carrier receive pipeline. The
-// root-level benchmarks (bench_test.go) regenerate every table and
-// figure; the same code is runnable via cmd/experiments.
+// the architecture of the concurrent per-carrier receive and transmit
+// pipelines plus the sustained-load traffic engine. The root-level
+// benchmarks (bench_test.go) regenerate every table and figure; the
+// same code is runnable via cmd/experiments, and cmd/benchjson writes
+// the pipeline/traffic numbers to BENCH_PR2.json for perf tracking.
 package repro

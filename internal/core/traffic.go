@@ -1,0 +1,35 @@
+package core
+
+import (
+	"repro/internal/traffic"
+)
+
+// TrafficScenario describes a sustained-load run on the assembled
+// system: the engine configuration, the terminal population and how many
+// frames to push through the closed regenerative loop.
+type TrafficScenario struct {
+	Config    traffic.Config
+	Terminals []traffic.Terminal
+	Frames    int
+}
+
+// NewTrafficEngine builds a traffic engine around the assembled system's
+// payload. The engine runs next to the live control plane, so callers
+// can interleave RunFrames with reconfiguration scenarios (SwapDecoder,
+// MigrateWaveform) and observe the service impact in the run metrics.
+func (sys *System) NewTrafficEngine(sc TrafficScenario) (*traffic.Engine, error) {
+	return traffic.New(sys.Payload, sc.Config, sc.Terminals)
+}
+
+// RunTraffic pushes the scenario's frames through the closed loop in one
+// go and returns the run metrics.
+func (sys *System) RunTraffic(sc TrafficScenario) (*traffic.Report, error) {
+	eng, err := sys.NewTrafficEngine(sc)
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.RunFrames(sc.Frames); err != nil {
+		return nil, err
+	}
+	return eng.Report(), nil
+}

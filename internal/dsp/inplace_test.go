@@ -97,6 +97,27 @@ func TestDDCProcessIntoMatchesProcess(t *testing.T) {
 	}
 }
 
+func TestDUCProcessIntoMatchesProcess(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := NewDUC(0.15, 0.08, 63, 4)
+	b := NewDUC(0.15, 0.08, 63, 4)
+	dst := NewVec(512)
+	for _, n := range []int{64, 30, 128, 3} {
+		in := randVec(rng, n)
+		predicted := b.OutLen(n)
+		want := a.Process(in)
+		got := b.ProcessInto(dst, in)
+		if len(want) != len(got) || len(got) != predicted {
+			t.Fatalf("chunk %d: length %d vs %d (predicted %d)", n, len(got), len(want), predicted)
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("chunk %d sample %d differs", n, i)
+			}
+		}
+	}
+}
+
 func TestNCOMixIntoMatchesMix(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	a, b := NewNCO(0.12, 0.3), NewNCO(0.12, 0.3)
@@ -171,6 +192,16 @@ func TestDDCProcessIntoAllocs(t *testing.T) {
 	d.ProcessInto(dst, in)
 	if n := testing.AllocsPerRun(20, func() { d.ProcessInto(dst, in) }); n != 0 {
 		t.Fatalf("DDC.ProcessInto allocates %.1f/op in steady state", n)
+	}
+}
+
+func TestDUCProcessIntoAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	u := NewDUC(0.15, 0.08, 63, 4)
+	in, dst := randVec(rng, 256), NewVec(1024)
+	u.ProcessInto(dst, in)
+	if n := testing.AllocsPerRun(20, func() { u.ProcessInto(dst, in) }); n != 0 {
+		t.Fatalf("DUC.ProcessInto allocates %.1f/op in steady state", n)
 	}
 }
 

@@ -158,6 +158,7 @@ type DUC struct {
 	nco    *NCO
 	lp     *FIR
 	interp int
+	up     Vec // scratch: zero-stuffed input, reused across calls
 }
 
 // NewDUC builds an up-converter interpolating by interp and translating
@@ -173,10 +174,35 @@ func NewDUC(freq, cutoff float64, ntaps, interp int) *DUC {
 	}
 }
 
+// Interpolation returns the interpolation factor.
+func (u *DUC) Interpolation() int { return u.interp }
+
+// OutLen returns how many samples Process/ProcessInto emit for a block
+// of n input samples.
+func (u *DUC) OutLen(n int) int { return n * u.interp }
+
 // Process interpolates, filters and up-converts a baseband block.
 func (u *DUC) Process(in Vec) Vec {
-	up := Upsample(in, u.interp)
-	up.Scale(complex(float64(u.interp), 0))
-	filtered := u.lp.Process(up)
-	return u.nco.Mix(filtered)
+	return u.ProcessInto(NewVec(u.OutLen(len(in))), in)
+}
+
+// ProcessInto is the allocation-free variant of Process: the zero-stuffed
+// input lands in a DUC-owned scratch buffer and the up-converted output
+// is written into dst (at least OutLen(len(in)) long, not aliasing in).
+// Like the FIR it wraps, a DUC serves one stream at a time.
+func (u *DUC) ProcessInto(dst, in Vec) Vec {
+	n := u.OutLen(len(in))
+	if cap(u.up) < n {
+		u.up = make(Vec, n)
+	}
+	up := u.up[:n]
+	for i := range up {
+		up[i] = 0
+	}
+	g := complex(float64(u.interp), 0)
+	for i, s := range in {
+		up[i*u.interp] = s * g
+	}
+	filtered := u.lp.ProcessInto(dst[:n], up)
+	return u.nco.MixInto(filtered, filtered)
 }

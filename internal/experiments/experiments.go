@@ -9,6 +9,10 @@
 //	E6  §4.3      — SEU mitigation: TMR pe², overheads, scrubbing
 //	E7  §4.4      — payload partitioning vs interruption scope
 //	E8  §2.3      — decoder reconfiguration: uncoded/conv/turbo
+//	E9  §4        — power/thermal budget of the partitionings
+//	E10 §2        — concurrent per-carrier receive pipeline
+//	E11 §2        — sustained MF-TDMA traffic through the closed
+//	               regenerative loop, with a mid-run decoder swap
 //
 // Every experiment is a pure function of its parameters (deterministic
 // under a fixed seed) returning a printable result, so the same code

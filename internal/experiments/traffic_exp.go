@@ -1,0 +1,246 @@
+package experiments
+
+import (
+	"math/rand"
+	"runtime"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/frontend"
+	"repro/internal/modem"
+	"repro/internal/ncc"
+	"repro/internal/payload"
+	"repro/internal/traffic"
+)
+
+// E11 exercises the system under sustained MF-TDMA load: a terminal
+// population (CBR, bursty on/off, hotspot) issues DAMA requests against
+// the slot scheduler every frame, the granted burst time plan runs
+// through the closed regenerative loop (demodulate - decode - switch -
+// re-encode - remodulate - ground demodulate), and halfway through the
+// run the ground performs the §2.3 decoder reconfiguration while the
+// queues hold the traffic. Correctness is the loopback contract: at high
+// SNR every delivered packet must be bit-identical to what the terminal
+// sent, frame after frame, across the codec swap.
+
+// E11Config parameterizes the sustained-load experiment.
+type E11Config struct {
+	Frames         int // total frames; the decoder swap happens at Frames/2
+	Frame          modem.FrameConfig
+	CodecA, CodecB string
+	QueueDepth     int
+	EbN0dB         float64
+	Seed           int64
+}
+
+// DefaultE11Config returns the full-size run: >= 100 consecutive frames
+// over a 3-carrier MF-TDMA grid, convolutional before the swap, turbo
+// after.
+func DefaultE11Config() E11Config {
+	return E11Config{
+		Frames:     120,
+		Frame:      modem.FrameConfig{Carriers: 3, Slots: 4, SlotSymbols: 320, GuardSymbols: 16},
+		CodecA:     "conv-r1/2-k9",
+		CodecB:     "turbo-r1/3",
+		QueueDepth: 16,
+		EbN0dB:     9,
+		Seed:       11,
+	}
+}
+
+// E11Result carries the sustained-load study outputs.
+type E11Result struct {
+	Table *Table
+	// Final is the cumulative run report; Mid is the snapshot taken just
+	// before the decoder swap.
+	Mid, Final *traffic.Report
+	// BitExact is the loopback contract over the whole run: no uplink
+	// losses or bit errors, and every transmitted downlink burst
+	// demodulated and decoded to the queued bits exactly.
+	BitExact bool
+	// SwapOK reports whether the mid-run ground reconfiguration
+	// succeeded on every DECOD device.
+	SwapOK bool
+}
+
+// E11Traffic runs the sustained-load experiment.
+func E11Traffic(cfg E11Config) *E11Result {
+	sysCfg := core.DefaultSystemConfig()
+	sysCfg.Payload.Carriers = cfg.Frame.Carriers
+	sys, err := core.NewSystem(sysCfg)
+	if err != nil {
+		panic(err)
+	}
+	sys.RunUntil(2)
+	if err := sys.Payload.SetWaveform(payload.ModeTDMA); err != nil {
+		panic(err)
+	}
+	if err := sys.Payload.SetCodec(cfg.CodecA); err != nil {
+		panic(err)
+	}
+
+	tcfg := traffic.DefaultConfig()
+	tcfg.Frame = cfg.Frame
+	tcfg.QueueDepth = cfg.QueueDepth
+	tcfg.EbN0dB = cfg.EbN0dB
+	tcfg.Verify = true
+	tcfg.Seed = cfg.Seed
+	terms := e11Population(cfg.Frame.Carriers)
+	eng, err := sys.NewTrafficEngine(core.TrafficScenario{Config: tcfg, Terminals: terms})
+	if err != nil {
+		panic(err)
+	}
+
+	half := cfg.Frames / 2
+	if err := eng.RunFrames(half); err != nil {
+		panic(err)
+	}
+	mid := eng.Report()
+
+	swapOK := true
+	for _, rep := range sys.SwapDecoder(cfg.CodecB, ncc.ProtoSCPSFP, 32) {
+		if !rep.OK {
+			swapOK = false
+		}
+	}
+	if err := eng.RunFrames(cfg.Frames - half); err != nil {
+		panic(err)
+	}
+	final := eng.Report()
+
+	res := &E11Result{
+		Mid:    mid,
+		Final:  final,
+		SwapOK: swapOK,
+		BitExact: final.UplinkFailures == 0 && final.UplinkBitErrs == 0 &&
+			final.DownlinkLost == 0 && final.DownlinkBitErrs == 0,
+	}
+
+	t := &Table{
+		Title: f("E11: sustained traffic through the regenerative loop (%s -> %s, GOMAXPROCS=%d)",
+			cfg.CodecA, cfg.CodecB, runtime.GOMAXPROCS(0)),
+		Columns: []string{"frames", "granted", "delivered", "kbit/s wall",
+			"latency fr", "drops", "bit-exact"},
+	}
+	row := func(label string, frames, granted, delivered, bits, drops int, latMean float64, wall float64, exact bool) {
+		kbps := 0.0
+		if wall > 0 {
+			kbps = float64(bits) / wall / 1000
+		}
+		t.Rows = append(t.Rows, Row{label, []string{
+			f("%d", frames), f("%d", granted), f("%d", delivered),
+			f("%.1f", kbps), f("%.2f", latMean), f("%d", drops), f("%v", exact)}})
+	}
+	phaseBLat := 0.0
+	if d := final.DeliveredPackets - mid.DeliveredPackets; d > 0 {
+		phaseBLat = float64(final.LatencySum-mid.LatencySum) / float64(d)
+	}
+	row(f("phase A (%s)", cfg.CodecA), mid.Frames, mid.GrantedCells, mid.DeliveredPackets,
+		mid.DeliveredBits, mid.DroppedQueue+mid.DroppedReencode, mid.LatencyMean,
+		mid.WallSeconds, mid.UplinkBitErrs == 0 && mid.DownlinkBitErrs == 0 && mid.DownlinkLost == 0)
+	row(f("phase B (%s)", cfg.CodecB), final.Frames-mid.Frames, final.GrantedCells-mid.GrantedCells,
+		final.DeliveredPackets-mid.DeliveredPackets, final.DeliveredBits-mid.DeliveredBits,
+		(final.DroppedQueue+final.DroppedReencode)-(mid.DroppedQueue+mid.DroppedReencode),
+		phaseBLat, final.WallSeconds-mid.WallSeconds, res.BitExact)
+	row("total", final.Frames, final.GrantedCells, final.DeliveredPackets,
+		final.DeliveredBits, final.DroppedQueue+final.DroppedReencode, final.LatencyMean,
+		final.WallSeconds, res.BitExact)
+	t.Notes = append(t.Notes,
+		f("population: %d terminals (CBR, on/off, hotspot) over %d beams, queue depth %d, Eb/N0 %.0f dB",
+			len(terms), cfg.Frame.Carriers, cfg.QueueDepth, cfg.EbN0dB),
+		f("mid-run SwapDecoder(%s) ok=%v; re-encode drops after the swap are conv-era codewords that no longer fit a turbo burst",
+			cfg.CodecB, swapOK),
+		"bit-exact = zero uplink losses/bit errors and zero downlink losses/bit errors on ground demodulation")
+	res.Table = t
+	return res
+}
+
+// e11Population builds the mixed-model terminal set, spreading beams
+// round-robin over the downlink carriers.
+func e11Population(beams int) []traffic.Terminal {
+	models := []traffic.Model{
+		traffic.CBR{Cells: 1},
+		traffic.CBR{Cells: 2},
+		traffic.OnOff{On: 3, Off: 2, Cells: 2, Phase: 1},
+		traffic.Hotspot{Base: 0, Surge: 5, Period: 8, Width: 2},
+	}
+	out := make([]traffic.Terminal, len(models))
+	for i, m := range models {
+		out[i] = traffic.Terminal{ID: f("t%d", i), Beam: i % beams, Model: m}
+	}
+	return out
+}
+
+// AblationTxWorkers sweeps the transmit pipeline's worker-pool width
+// (via GOMAXPROCS, which sizes the pool) over the same downlink frame
+// sequence, verifying the determinism contract — the wideband samples
+// must not depend on the schedule — and showing how frame modulation
+// latency scales with workers. A fresh transmitter is built per width so
+// every sweep starts from identical DUC/NCO state.
+func AblationTxWorkers(workerCounts []int, frames int, seed int64) *Table {
+	t := &Table{
+		Title:   "Ablation: Tx pipeline worker-pool width (MF-TDMA frame transmit)",
+		Columns: []string{"ms/frame", "bit-exact vs 1 worker"},
+	}
+	const carriers = 3
+	const infoLen = 180
+	fcfg := modem.FrameConfig{Carriers: carriers, Slots: 4, SlotSymbols: 320, GuardSymbols: 16}
+	plan := frontend.CarrierPlan{Carriers: carriers, Spacing: 0.2, Decim: 4}
+
+	// One grid sequence shared by every width.
+	rng := rand.New(rand.NewSource(seed))
+	grids := make([][][][]byte, frames)
+	for fi := range grids {
+		grid := make([][][]byte, carriers)
+		for c := range grid {
+			grid[c] = make([][]byte, fcfg.Slots)
+			for s := range grid[c] {
+				if rng.Float64() < 0.25 {
+					continue // idle cell
+				}
+				grid[c][s] = randBits(rng, infoLen)
+			}
+		}
+		grids[fi] = grid
+	}
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+
+	var refWide [][]complex128
+	for wi, w := range workerCounts {
+		runtime.GOMAXPROCS(w)
+		pl, _, _ := newFramePayload(carriers)
+		tx := payload.NewTransmitter(pl, plan)
+		exact := true
+		start := time.Now()
+		for fi, grid := range grids {
+			wide, err := tx.TransmitFrameGrid(fcfg, grid)
+			if err != nil {
+				panic(err)
+			}
+			if wi == 0 {
+				cp := make([]complex128, len(wide))
+				copy(cp, wide)
+				refWide = append(refWide, cp)
+			} else {
+				if len(wide) != len(refWide[fi]) {
+					exact = false
+				} else {
+					for i := range wide {
+						if wide[i] != refWide[fi][i] {
+							exact = false
+							break
+						}
+					}
+				}
+			}
+		}
+		dt := time.Since(start)
+		t.Rows = append(t.Rows, Row{f("%d workers", w), []string{
+			f("%.2f", dt.Seconds()*1000/float64(frames)), f("%v", exact)}})
+	}
+	t.Notes = append(t.Notes,
+		"per-carrier state (pooled modulators, carrier buffers, DUCs) is owned by one index at a time, so width only changes wall-clock, never bits")
+	return t
+}

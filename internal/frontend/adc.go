@@ -76,3 +76,8 @@ func NewDAC(bits int, fullScale float64) *DAC { return &DAC{adc: NewADC(bits, fu
 
 // Convert quantizes a block for output.
 func (d *DAC) Convert(in dsp.Vec) dsp.Vec { return d.adc.Convert(in) }
+
+// ConvertInto is the allocation-free variant of Convert, matching the
+// receive-side ADC: it writes the quantized block into dst (at least
+// len(in) long; dst == in is allowed) and returns dst[:len(in)].
+func (d *DAC) ConvertInto(dst, in dsp.Vec) dsp.Vec { return d.adc.ConvertInto(dst, in) }

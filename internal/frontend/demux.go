@@ -71,6 +71,14 @@ func (d *Demux) Process(wideband dsp.Vec) []dsp.Vec {
 type Mux struct {
 	plan CarrierPlan
 	ducs []*dsp.DUC
+	tmp  []dsp.Vec // scratch: per-carrier up-converted blocks, reused across calls
+
+	// upconvert is the per-carrier worker body, built once so the steady
+	// state does not heap-allocate a closure per frame; cur* are its
+	// per-call arguments.
+	upconvert   func(int)
+	curN        int
+	curCarriers []dsp.Vec
 }
 
 // NewMux builds the multiplexer with the same plan as the Demux.
@@ -83,23 +91,60 @@ func NewMux(plan CarrierPlan, ntaps int) *Mux {
 	for c := 0; c < plan.Carriers; c++ {
 		m.ducs = append(m.ducs, dsp.NewDUC(plan.Freq(c), cutoff, ntaps, plan.Decim))
 	}
+	m.upconvert = func(c int) {
+		duc := m.ducs[c]
+		m.tmp[c] = duc.ProcessInto(dsp.GetVec(duc.OutLen(m.curN)), m.curCarriers[c])
+	}
 	return m
 }
+
+// OutLen returns the wideband sample count produced for per-carrier
+// blocks of n samples.
+func (m *Mux) OutLen(n int) int { return n * m.plan.Decim }
 
 // Process stacks per-carrier baseband streams (all the same length) onto
 // one wideband block.
 func (m *Mux) Process(carriers []dsp.Vec) dsp.Vec {
+	var n int
+	if len(carriers) > 0 {
+		n = len(carriers[0])
+	}
+	return m.ProcessInto(dsp.NewVec(m.OutLen(n)), carriers)
+}
+
+// ProcessInto is the allocation-free variant of Process: the DUC bank
+// fans out across the pipeline worker pool — one chain per carrier, as
+// in the FPGA MUX, each carrier owning only its DUC state and a pooled
+// scratch block — and the up-converted carriers are then summed into dst
+// (at least OutLen(n) long) strictly in carrier order, so the wideband
+// block is bit-identical to a sequential loop. Steady state performs no
+// allocations once the pool is warm.
+func (m *Mux) ProcessInto(dst dsp.Vec, carriers []dsp.Vec) dsp.Vec {
 	if len(carriers) != len(m.ducs) {
 		panic("frontend: carrier count mismatch")
 	}
-	var out dsp.Vec
-	for c, duc := range m.ducs {
-		v := duc.Process(carriers[c])
-		if out == nil {
-			out = v
-			continue
+	n := len(carriers[0])
+	for _, c := range carriers {
+		if len(c) != n {
+			panic("frontend: carrier block length mismatch")
 		}
-		out.Add(v)
 	}
-	return out
+	if cap(m.tmp) < len(m.ducs) {
+		m.tmp = make([]dsp.Vec, len(m.ducs))
+	}
+	tmp := m.tmp[:len(m.ducs)]
+	m.curN, m.curCarriers = n, carriers
+	pipeline.ForEach(len(m.ducs), m.upconvert)
+	m.curCarriers = nil
+	dst = dst[:m.OutLen(n)]
+	for c, v := range tmp {
+		if c == 0 {
+			copy(dst, v)
+		} else {
+			dst.Add(v)
+		}
+		dsp.PutVec(v)
+		tmp[c] = nil
+	}
+	return dst
 }

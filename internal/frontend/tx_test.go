@@ -1,0 +1,111 @@
+package frontend
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/dsp"
+)
+
+func randBlock(rng *rand.Rand, n int) dsp.Vec {
+	v := dsp.NewVec(n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return v
+}
+
+// Mux.ProcessInto fans the DUC bank over the worker pool but must stay
+// bit-identical to the sequential allocating path, including across
+// successive frames (DUC NCO phase and filter history carry over).
+func TestMuxProcessIntoMatchesProcess(t *testing.T) {
+	plan := CarrierPlan{Carriers: 3, Spacing: 0.2, Decim: 4}
+	a, b := NewMux(plan, 63), NewMux(plan, 63)
+	rng := rand.New(rand.NewSource(31))
+	dst := dsp.NewVec(plan.Decim * 256)
+	for frame := 0; frame < 3; frame++ {
+		carriers := make([]dsp.Vec, plan.Carriers)
+		for c := range carriers {
+			carriers[c] = randBlock(rng, 256)
+		}
+		want := a.Process(carriers)
+		got := b.ProcessInto(dst, carriers)
+		if len(want) != len(got) || len(got) != a.OutLen(256) {
+			t.Fatalf("frame %d: length %d vs %d", frame, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("frame %d sample %d: %v != %v", frame, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestMuxProcessIntoRejectsMismatchedBlocks(t *testing.T) {
+	plan := CarrierPlan{Carriers: 2, Spacing: 0.2, Decim: 2}
+	m := NewMux(plan, 31)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on carrier block length mismatch")
+		}
+	}()
+	m.ProcessInto(dsp.NewVec(128), []dsp.Vec{dsp.NewVec(32), dsp.NewVec(16)})
+}
+
+// Steady-state allocation regression for the Tx hot path. The worker
+// pool spawns goroutines when GOMAXPROCS > 1, so the zero-alloc contract
+// is stated for the inline (single-worker) schedule — the same DSP work
+// every worker executes. The race detector deliberately defeats
+// sync.Pool reuse, so the count is only meaningful without it.
+func TestMuxProcessIntoAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool recycling is randomized under the race detector")
+	}
+	prev := runtime.GOMAXPROCS(1)
+	defer runtime.GOMAXPROCS(prev)
+
+	plan := CarrierPlan{Carriers: 3, Spacing: 0.2, Decim: 4}
+	m := NewMux(plan, 63)
+	rng := rand.New(rand.NewSource(32))
+	carriers := make([]dsp.Vec, plan.Carriers)
+	for c := range carriers {
+		carriers[c] = randBlock(rng, 256)
+	}
+	dst := dsp.NewVec(m.OutLen(256))
+	m.ProcessInto(dst, carriers) // warm the DUC scratch and the block pool
+	if n := testing.AllocsPerRun(20, func() { m.ProcessInto(dst, carriers) }); n != 0 {
+		t.Fatalf("Mux.ProcessInto allocates %.1f/op in steady state", n)
+	}
+}
+
+func TestDACConvertIntoMatchesConvert(t *testing.T) {
+	dac := NewDAC(12, 4)
+	rng := rand.New(rand.NewSource(33))
+	in := randBlock(rng, 128)
+	want := dac.Convert(in)
+	got := dac.ConvertInto(dsp.NewVec(len(in)), in)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("sample %d differs", i)
+		}
+	}
+	// In-place conversion is allowed, matching the Rx ADC contract.
+	aliased := in.Clone()
+	dac.ConvertInto(aliased, aliased)
+	for i := range want {
+		if want[i] != aliased[i] {
+			t.Fatalf("aliased sample %d differs", i)
+		}
+	}
+}
+
+func TestDACConvertIntoAllocs(t *testing.T) {
+	dac := NewDAC(12, 4)
+	rng := rand.New(rand.NewSource(34))
+	in := randBlock(rng, 256)
+	dst := dsp.NewVec(256)
+	if n := testing.AllocsPerRun(20, func() { dac.ConvertInto(dst, in) }); n != 0 {
+		t.Fatalf("DAC.ConvertInto allocates %.1f/op", n)
+	}
+}

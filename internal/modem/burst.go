@@ -89,12 +89,27 @@ func (m *BurstModulator) Format() BurstFormat { return m.fmt }
 func (m *BurstModulator) SPS() int { return m.sps }
 
 // Modulate produces the burst waveform followed by enough flush samples to
-// push the last symbol through the shaping filter.
+// push the last symbol through the shaping filter. The modulator fully
+// resets per call, so a recycled instance (e.g. from the transmitter's
+// modulator pool) produces output bit-identical to a fresh one.
 func (m *BurstModulator) Modulate(payload []byte) dsp.Vec {
 	m.shaper.Reset()
 	syms := m.fmt.Symbols(payload)
-	flush := dsp.NewVec(int(2*m.shaper.GroupDelay())/m.sps + 2)
+	flush := dsp.NewVec(m.flushSymbols())
 	return m.shaper.Process(append(syms, flush...))
+}
+
+// flushSymbols returns the idle symbols appended to push the last data
+// symbol through the shaping filter.
+func (m *BurstModulator) flushSymbols() int {
+	return int(2*m.shaper.GroupDelay())/m.sps + 2
+}
+
+// WaveformLen returns the sample count Modulate produces for any payload:
+// the shaped burst plus the filter flush tail. Frame builders use it to
+// size slots and to emit correctly sized silence for idle frames.
+func (m *BurstModulator) WaveformLen() int {
+	return (m.fmt.TotalSymbols() + m.flushSymbols()) * m.sps
 }
 
 // TimingMode selects the timing recovery algorithm, the choice §2.3 ties

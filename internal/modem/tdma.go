@@ -64,6 +64,17 @@ func NewFrameComposer(cfg FrameConfig, sps int) *FrameComposer {
 // Config returns the frame configuration.
 func (fc *FrameComposer) Config() FrameConfig { return fc.cfg }
 
+// Reset silences every carrier so the composer can build the next frame
+// without reallocating its waveform buffers — streaming engines compose
+// one frame per iteration and must not churn the heap.
+func (fc *FrameComposer) Reset() {
+	for _, c := range fc.carriers {
+		for i := range c {
+			c[i] = 0
+		}
+	}
+}
+
 // PlaceBurst writes a burst waveform into the assigned slot of the
 // assigned carrier. The waveform is truncated if it exceeds the slot.
 func (fc *FrameComposer) PlaceBurst(a SlotAssignment, wave dsp.Vec) {

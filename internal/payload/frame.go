@@ -1,6 +1,7 @@
 package payload
 
 import (
+	"repro/internal/fec"
 	"repro/internal/modem"
 	"repro/internal/pipeline"
 )
@@ -17,7 +18,10 @@ type BurstReceipt struct {
 	Found      bool
 	Soft       []float64
 	UWMetric   float64
-	Err        error
+	// Bits holds the decoded info bits when the receiving call also ran
+	// the DECOD stage (ReceiveFrameAndRoute); nil otherwise.
+	Bits []byte
+	Err  error
 }
 
 // ReceiveFrame demodulates the assigned cells of an MF-TDMA frame. The
@@ -41,6 +45,57 @@ func (p *Payload) ReceiveFrame(fc *modem.FrameComposer, assignments []modem.Slot
 		}
 		out[i] = r
 	})
+	return out
+}
+
+// ReceiveFrameAndRoute runs the full regenerative receive path over the
+// assigned cells of an MF-TDMA frame: every cell is demodulated and
+// decoded concurrently on the pipeline worker pool (same ownership
+// contract as ReceiveFrame), then the decoded packets are routed to
+// beams[i] strictly in assignment order after the barrier, so switch
+// contents are deterministic and bit-identical to a sequential loop.
+// Failed cells (burst not found, service down mid-reconfiguration, short
+// codeword) carry their error in the receipt and route nothing — the
+// traffic engine counts them as uplink losses.
+func (p *Payload) ReceiveFrameAndRoute(fc *modem.FrameComposer, assignments []modem.SlotAssignment, beams []int) []BurstReceipt {
+	if len(beams) != len(assignments) {
+		panic("payload: one destination beam per assignment required")
+	}
+	out := make([]BurstReceipt, len(assignments))
+	pipeline.ForEach(len(assignments), func(i int) {
+		a := assignments[i]
+		r := BurstReceipt{Assignment: a}
+		soft, err := p.DemodulateCarrier(a.Carrier, fc.SlotWaveform(a))
+		if err != nil {
+			r.Err = err
+			out[i] = r
+			return
+		}
+		r.Found = true
+		r.Soft = soft
+		bits, err := p.decodeBurst(soft)
+		if err != nil {
+			r.Err = err
+			out[i] = r
+			return
+		}
+		r.Bits = bits
+		out[i] = r
+	})
+	// Route after the barrier, in assignment order: the switch is shared
+	// state, so routing must not race the workers or follow completion
+	// order.
+	for i := range out {
+		if out[i].Bits == nil {
+			continue
+		}
+		if !p.cs.FunctionHealthy(FuncSwitch) {
+			out[i].Bits = nil
+			out[i].Err = ErrServiceDown
+			continue
+		}
+		p.sw.Route(beams[i], fec.PackBits(out[i].Bits))
+	}
 	return out
 }
 

@@ -156,13 +156,20 @@ func TestTransmitterOversizedBurst(t *testing.T) {
 	}
 }
 
-// TestTransmitterEmptyFrame rejects a frame with no traffic.
+// TestTransmitterEmptyFrame: an all-idle frame is legal and yields a
+// silent wideband block (see tx_test.go for the shape assertions) — a
+// streaming engine must be able to transmit silence without
+// special-casing it.
 func TestTransmitterEmptyFrame(t *testing.T) {
 	pl, _ := New(DefaultConfig())
 	pl.SetWaveform(ModeTDMA)
 	pl.SetCodec("uncoded")
 	tx := NewTransmitter(pl, frontend.CarrierPlan{Carriers: 2, Spacing: 0.2, Decim: 4})
-	if _, err := tx.TransmitFrame(map[int][]byte{}); err == nil {
-		t.Fatal("empty frame must error")
+	wide, err := tx.TransmitFrame(map[int][]byte{})
+	if err != nil {
+		t.Fatalf("idle frame must be legal: %v", err)
+	}
+	if len(wide) == 0 {
+		t.Fatal("idle frame produced no wideband block")
 	}
 }

@@ -2,11 +2,14 @@ package payload
 
 import (
 	"errors"
+	"fmt"
+	"sync"
 
 	"repro/internal/dsp"
 	"repro/internal/fec"
 	"repro/internal/frontend"
 	"repro/internal/modem"
+	"repro/internal/pipeline"
 )
 
 // Transmit section of Fig 2: packets drained from the baseband switch are
@@ -15,31 +18,59 @@ import (
 // receive chain this closes the regenerative loop: demodulate - decode -
 // switch - re-encode - remodulate.
 
+// TxTailMargin is the per-carrier tail padding (samples at the carrier
+// rate) that absorbs the DUC/DDC filter group delays so the end of a
+// burst is never pushed past the receiver's block boundary. Exported so
+// external sequential references (benchmarks, tests) size their frames
+// identically to the transmitter.
+const TxTailMargin = 64
+
 // Transmitter drives the payload downlink.
 type Transmitter struct {
 	pl   *Payload
 	plan frontend.CarrierPlan
 	mux  *frontend.Mux
 	dac  *frontend.DAC
-	mod  *modem.BurstModulator
 	sps  int
+
+	// Modulator pool: the burst format and sample rate are fixed at
+	// construction, so recycled modulators (which fully reset per burst)
+	// stand in for the bank of identical per-carrier MOD chains and let
+	// any number of concurrent workers modulate without shared state.
+	mods    sync.Pool
+	waveLen int // samples Modulate emits per burst
+
+	// carrierBufs holds the per-carrier downlink waveforms of the frame
+	// under construction; each grid worker touches only its own carrier.
+	carrierBufs []dsp.Vec
 }
 
 // NewTransmitter builds the Tx section for the given downlink carrier
 // plan. Burst parameters mirror the uplink format.
 func NewTransmitter(pl *Payload, plan frontend.CarrierPlan) *Transmitter {
-	return &Transmitter{
-		pl:   pl,
-		plan: plan,
-		mux:  frontend.NewMux(plan, 95),
-		dac:  frontend.NewDAC(12, 4),
-		mod:  modem.NewBurstModulator(pl.BurstFormat(), 0.35, plan.Decim, 10),
-		sps:  plan.Decim,
+	t := &Transmitter{
+		pl:          pl,
+		plan:        plan,
+		mux:         frontend.NewMux(plan, 95),
+		dac:         frontend.NewDAC(12, 4),
+		sps:         plan.Decim,
+		carrierBufs: make([]dsp.Vec, plan.Carriers),
 	}
+	t.mods.New = func() any {
+		return modem.NewBurstModulator(pl.BurstFormat(), 0.35, plan.Decim, 10)
+	}
+	m := t.mods.Get().(*modem.BurstModulator)
+	t.waveLen = m.WaveformLen()
+	t.mods.Put(m)
+	return t
 }
 
 // Plan returns the downlink carrier plan.
 func (t *Transmitter) Plan() frontend.CarrierPlan { return t.plan }
+
+// BurstWaveformLen returns the samples one modulated downlink burst
+// occupies (including the shaping-filter flush tail).
+func (t *Transmitter) BurstWaveformLen() int { return t.waveLen }
 
 // EncodeBurst encodes info bits with the active codec and pads them into
 // one downlink burst payload. It fails when the coding function is down
@@ -65,12 +96,15 @@ func (t *Transmitter) EncodeBurst(info []byte) ([]byte, error) {
 // TransmitFrame drains queued packets for the given beams (one burst per
 // beam, in beam order), modulates each onto its own downlink carrier and
 // returns the stacked wideband block after the DAC. Beams without
-// traffic contribute an empty carrier.
+// traffic contribute an empty carrier; an all-idle frame is legal and
+// emits the empty-carrier wideband block, so streaming engines need not
+// special-case silence.
 func (t *Transmitter) TransmitFrame(infoBitsPerBeam map[int][]byte) (dsp.Vec, error) {
 	if !t.pl.Chipset().FunctionHealthy(FuncSwitch) {
 		return nil, ErrServiceDown
 	}
 	carriers := make([]dsp.Vec, t.plan.Carriers)
+	mod := t.mods.Get().(*modem.BurstModulator)
 	var burstLen int
 	for beam := 0; beam < t.plan.Carriers; beam++ {
 		info, ok := infoBitsPerBeam[beam]
@@ -79,20 +113,22 @@ func (t *Transmitter) TransmitFrame(infoBitsPerBeam map[int][]byte) (dsp.Vec, er
 		}
 		payloadBits, err := t.EncodeBurst(info)
 		if err != nil {
+			t.mods.Put(mod)
 			return nil, err
 		}
-		wave := t.mod.Modulate(payloadBits)
+		wave := mod.Modulate(payloadBits)
 		carriers[beam] = wave
 		if len(wave) > burstLen {
 			burstLen = len(wave)
 		}
 	}
+	t.mods.Put(mod)
 	if burstLen == 0 {
-		return nil, errors.New("payload: nothing to transmit")
+		// Idle frame: keep the nominal burst length so the wideband
+		// block has the same shape as a loaded frame.
+		burstLen = t.waveLen
 	}
-	// Tail margin absorbs the DUC/DDC filter group delays so the end of
-	// a burst is never pushed past the receiver's block boundary.
-	burstLen += 64
+	burstLen += TxTailMargin
 	for i := range carriers {
 		if carriers[i] == nil {
 			carriers[i] = dsp.NewVec(burstLen)
@@ -101,7 +137,71 @@ func (t *Transmitter) TransmitFrame(infoBitsPerBeam map[int][]byte) (dsp.Vec, er
 		}
 	}
 	wide := t.mux.Process(carriers)
-	return t.dac.Convert(wide), nil
+	return t.dac.ConvertInto(wide, wide), nil
+}
+
+// TransmitFrameGrid modulates a full (carrier, slot) downlink frame:
+// grid[c][s] holds the info bits of the burst for cell (carrier c, slot
+// s), nil meaning an idle cell (an all-idle grid is legal and yields the
+// empty-carrier wideband block). Carriers fan out across the pipeline
+// worker pool — each worker draws its own modulator from the pool and
+// writes only its own carrier buffer — so the frame is modulated
+// concurrently yet bit-identical to a sequential carrier-by-carrier
+// loop. The stacked wideband block after the DAC is drawn from the dsp
+// block pool; callers done with it may dsp.PutVec it.
+//
+// cfg supplies the slot geometry; cfg.Carriers must match the downlink
+// carrier plan and one modulated burst must fit a slot.
+func (t *Transmitter) TransmitFrameGrid(cfg modem.FrameConfig, grid [][][]byte) (dsp.Vec, error) {
+	if cfg.Carriers != t.plan.Carriers {
+		return nil, fmt.Errorf("payload: frame has %d carriers, plan has %d", cfg.Carriers, t.plan.Carriers)
+	}
+	if len(grid) != t.plan.Carriers {
+		return nil, fmt.Errorf("payload: grid has %d carriers, plan has %d", len(grid), t.plan.Carriers)
+	}
+	slotLen := cfg.SlotSymbols * t.sps
+	if t.waveLen > slotLen {
+		return nil, fmt.Errorf("payload: %d-sample burst exceeds the %d-sample slot", t.waveLen, slotLen)
+	}
+	if !t.pl.Chipset().FunctionHealthy(FuncSwitch) {
+		return nil, ErrServiceDown
+	}
+	carrierLen := cfg.Slots*slotLen + TxTailMargin
+	for c := range t.carrierBufs {
+		if cap(t.carrierBufs[c]) < carrierLen {
+			t.carrierBufs[c] = dsp.NewVec(carrierLen)
+		}
+	}
+	errs := make([]error, t.plan.Carriers)
+	pipeline.ForEach(t.plan.Carriers, func(c int) {
+		buf := t.carrierBufs[c][:carrierLen]
+		for i := range buf {
+			buf[i] = 0
+		}
+		t.carrierBufs[c] = buf
+		if len(grid[c]) > cfg.Slots {
+			errs[c] = fmt.Errorf("carrier %d: %d slots exceed the %d-slot frame", c, len(grid[c]), cfg.Slots)
+			return
+		}
+		mod := t.mods.Get().(*modem.BurstModulator)
+		for s, info := range grid[c] {
+			if info == nil {
+				continue
+			}
+			payloadBits, err := t.EncodeBurst(info)
+			if err != nil {
+				errs[c] = fmt.Errorf("carrier %d slot %d: %w", c, s, err)
+				break
+			}
+			copy(buf[s*slotLen:], mod.Modulate(payloadBits))
+		}
+		t.mods.Put(mod)
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	wide := t.mux.ProcessInto(dsp.GetVec(t.mux.OutLen(carrierLen)), t.carrierBufs)
+	return t.dac.ConvertInto(wide, wide), nil
 }
 
 // PackInfoBits converts a drained switch packet back into the info-bit

@@ -1,0 +1,273 @@
+package payload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dsp"
+	"repro/internal/fec"
+	"repro/internal/frontend"
+	"repro/internal/modem"
+)
+
+// txTestRig boots a TDMA payload plus transmitter on a small downlink
+// plan, sized so each burst carries one codeword of infoLen bits.
+func txTestRig(t testing.TB, carriers int, codecName string, infoLen int) (*Payload, *Transmitter, fec.Codec) {
+	t.Helper()
+	pl, codec := newTDMAPayload(t, carriers, codecName, infoLen)
+	plan := frontend.CarrierPlan{Carriers: carriers, Spacing: 0.2, Decim: 4}
+	return pl, NewTransmitter(pl, plan), codec
+}
+
+func gridInfoBits(rng *rand.Rand, cfg modem.FrameConfig, infoLen int, fill float64) [][][]byte {
+	grid := make([][][]byte, cfg.Carriers)
+	for c := range grid {
+		grid[c] = make([][]byte, cfg.Slots)
+		for s := range grid[c] {
+			if rng.Float64() >= fill {
+				continue
+			}
+			info := make([]byte, infoLen)
+			for i := range info {
+				info[i] = byte(rng.Intn(2))
+			}
+			grid[c][s] = info
+		}
+	}
+	return grid
+}
+
+// seqTxRig is the pre-pipeline sequential reference: one modulator, one
+// carrier at a time, allocating Mux/DAC stages. The Mux persists across
+// frames so its DUC state carries over exactly like the transmitter's.
+type seqTxRig struct {
+	mod *modem.BurstModulator
+	mux *frontend.Mux
+	dac *frontend.DAC
+}
+
+func newSeqTxRig(pl *Payload, plan frontend.CarrierPlan) *seqTxRig {
+	return &seqTxRig{
+		mod: modem.NewBurstModulator(pl.BurstFormat(), 0.35, plan.Decim, 10),
+		mux: frontend.NewMux(plan, 95),
+		dac: frontend.NewDAC(12, 4),
+	}
+}
+
+func (r *seqTxRig) frameGrid(t *testing.T, tx *Transmitter, cfg modem.FrameConfig, grid [][][]byte) dsp.Vec {
+	t.Helper()
+	slotLen := cfg.SlotSymbols * tx.Plan().Decim
+	carrierLen := cfg.Slots*slotLen + TxTailMargin
+	carriers := make([]dsp.Vec, cfg.Carriers)
+	for c := range carriers {
+		carriers[c] = dsp.NewVec(carrierLen)
+		for s, info := range grid[c] {
+			if info == nil {
+				continue
+			}
+			payloadBits, err := tx.EncodeBurst(info)
+			if err != nil {
+				t.Fatal(err)
+			}
+			copy(carriers[c][s*slotLen:], r.mod.Modulate(payloadBits))
+		}
+	}
+	return r.dac.Convert(r.mux.Process(carriers))
+}
+
+// The concurrent grid transmitter must be bit-identical to the
+// sequential reference, frame after frame (DUC state carries over).
+func TestTransmitFrameGridMatchesSequential(t *testing.T) {
+	const infoLen = 180
+	pl, tx, _ := txTestRig(t, 3, "conv-r1/2-k9", infoLen)
+	cfg := modem.FrameConfig{Carriers: 3, Slots: 4, SlotSymbols: 512, GuardSymbols: 16}
+	rng := rand.New(rand.NewSource(5))
+	// Separate rig for the reference so shared-pool modulators cannot
+	// hide state leakage; EncodeBurst is stateless so tx is reusable.
+	ref := newSeqTxRig(pl, tx.Plan())
+	for frame := 0; frame < 3; frame++ {
+		grid := gridInfoBits(rng, cfg, infoLen, 0.7)
+		want := ref.frameGrid(t, tx, cfg, grid)
+		got, err := tx.TransmitFrameGrid(cfg, grid)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(want) != len(got) {
+			t.Fatalf("frame %d: length %d vs %d", frame, len(got), len(want))
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("frame %d sample %d: concurrent %v != sequential %v", frame, i, got[i], want[i])
+			}
+		}
+		dsp.PutVec(got)
+	}
+}
+
+func TestTransmitFrameGridValidation(t *testing.T) {
+	_, tx, _ := txTestRig(t, 2, "uncoded", 64)
+	cfg := modem.FrameConfig{Carriers: 3, Slots: 2, SlotSymbols: 512, GuardSymbols: 16}
+	if _, err := tx.TransmitFrameGrid(cfg, make([][][]byte, 3)); err == nil {
+		t.Fatal("no error on carrier-count mismatch")
+	}
+	cfg.Carriers = 2
+	if _, err := tx.TransmitFrameGrid(cfg, make([][][]byte, 3)); err == nil {
+		t.Fatal("no error on grid/plan mismatch")
+	}
+	// A burst must fit a slot.
+	tiny := modem.FrameConfig{Carriers: 2, Slots: 2, SlotSymbols: 10, GuardSymbols: 2}
+	if _, err := tx.TransmitFrameGrid(tiny, make([][][]byte, 2)); err == nil {
+		t.Fatal("no error on burst exceeding the slot")
+	}
+}
+
+// An all-idle frame is legal on both transmit APIs and yields a silent
+// wideband block of the nominal shape — a streaming engine must not have
+// to special-case silence.
+func TestTransmitIdleFrames(t *testing.T) {
+	pl, tx, _ := txTestRig(t, 2, "uncoded", 64)
+	_ = pl
+
+	wide, err := tx.TransmitFrame(map[int][]byte{})
+	if err != nil {
+		t.Fatalf("idle TransmitFrame: %v", err)
+	}
+	if want := (tx.BurstWaveformLen() + TxTailMargin) * tx.Plan().Decim; len(wide) != want {
+		t.Fatalf("idle frame wideband length %d, want %d", len(wide), want)
+	}
+	if e := wide.Energy(); e != 0 {
+		t.Fatalf("idle frame carries energy %g", e)
+	}
+
+	cfg := modem.FrameConfig{Carriers: 2, Slots: 3, SlotSymbols: 512, GuardSymbols: 16}
+	grid := make([][][]byte, 2)
+	for c := range grid {
+		grid[c] = make([][]byte, cfg.Slots)
+	}
+	gwide, err := tx.TransmitFrameGrid(cfg, grid)
+	if err != nil {
+		t.Fatalf("idle TransmitFrameGrid: %v", err)
+	}
+	if want := (cfg.Slots*cfg.SlotSymbols*tx.Plan().Decim + TxTailMargin) * tx.Plan().Decim; len(gwide) != want {
+		t.Fatalf("idle grid wideband length %d, want %d", len(gwide), want)
+	}
+	if e := gwide.Energy(); e != 0 {
+		t.Fatalf("idle grid carries energy %g", e)
+	}
+}
+
+// Full-loop loopback: the concurrent grid transmitter's wideband output,
+// passed through the antenna front end (ADC, DBFN, DEMUX) and the
+// concurrent receive pipeline, must reproduce the queued info bits
+// exactly — for both the convolutional and the turbo codec.
+func TestTransmitFrameGridLoopback(t *testing.T) {
+	cases := []struct {
+		codec   string
+		infoLen int
+	}{
+		{"conv-r1/2-k9", 180},
+		{"turbo-r1/3", 128},
+	}
+	for _, tc := range cases {
+		t.Run(tc.codec, func(t *testing.T) {
+			pl, tx, codec := txTestRig(t, 3, tc.codec, tc.infoLen)
+			// One burst per carrier in slot 0, so the per-carrier blocks
+			// feed straight into ProcessFrame.
+			cfg := modem.FrameConfig{Carriers: 3, Slots: 1, SlotSymbols: 512, GuardSymbols: 16}
+			rng := rand.New(rand.NewSource(9))
+			grid := gridInfoBits(rng, cfg, tc.infoLen, 1)
+			wide, err := tx.TransmitFrameGrid(cfg, grid)
+			if err != nil {
+				t.Fatal(err)
+			}
+			fe := frontend.NewRxFrontEnd(12, 8, 0.5, 0.15, tx.Plan(), 95)
+			elements := frontend.PlaneWave(wide, 8, 0.5, 0.15)
+			split := fe.Process(elements)
+			bits, err := pl.ProcessFrame(1, split)
+			if err != nil {
+				t.Fatalf("receive pipeline: %v", err)
+			}
+			for c := range bits {
+				if errs := fec.CountBitErrors(grid[c][0], bits[c][:tc.infoLen]); errs != 0 {
+					t.Fatalf("carrier %d: %d bit errors through the closed loop", c, errs)
+				}
+			}
+			if got := len(pl.Switch().Drain(1)); got != cfg.Carriers {
+				t.Fatalf("switch received %d packets, want %d", got, cfg.Carriers)
+			}
+			_ = codec
+		})
+	}
+}
+
+// ReceiveFrameAndRoute must agree bit-for-bit with the sequential
+// single-cell path and route in deterministic assignment order.
+func TestReceiveFrameAndRouteMatchesSequential(t *testing.T) {
+	const infoLen = 180
+	pl, codec := newTDMAPayload(t, 3, "conv-r1/2-k9", infoLen)
+	cfg := modem.FrameConfig{Carriers: 3, Slots: 4, SlotSymbols: 512, GuardSymbols: 16}
+	fc := modem.NewFrameComposer(cfg, 4)
+	mod := modem.NewBurstModulator(pl.BurstFormat(), 0.35, 4, 10)
+	rng := rand.New(rand.NewSource(17))
+	var asgs []modem.SlotAssignment
+	var beams []int
+	var infos [][]byte
+	for c := 0; c < cfg.Carriers; c++ {
+		for s := 0; s < cfg.Slots; s += 2 {
+			info := make([]byte, infoLen)
+			for i := range info {
+				info[i] = byte(rng.Intn(2))
+			}
+			coded := codec.Encode(info)
+			padded := make([]byte, pl.BurstFormat().PayloadBits())
+			copy(padded, coded)
+			a := modem.SlotAssignment{Carrier: c, Slot: s}
+			fc.PlaceBurst(a, mod.Modulate(padded))
+			asgs = append(asgs, a)
+			beams = append(beams, c)
+			infos = append(infos, info)
+		}
+	}
+	receipts := pl.ReceiveFrameAndRoute(fc, asgs, beams)
+	if len(receipts) != len(asgs) {
+		t.Fatalf("%d receipts for %d assignments", len(receipts), len(asgs))
+	}
+	for i, r := range receipts {
+		if r.Err != nil {
+			t.Fatalf("cell %v: %v", r.Assignment, r.Err)
+		}
+		if errs := fec.CountBitErrors(infos[i], r.Bits[:infoLen]); errs != 0 {
+			t.Fatalf("cell %v: %d bit errors", r.Assignment, errs)
+		}
+	}
+	// Routed packets arrive per beam in assignment order.
+	for c := 0; c < cfg.Carriers; c++ {
+		pkts := pl.Switch().Drain(c)
+		if len(pkts) != 2 {
+			t.Fatalf("beam %d holds %d packets, want 2", c, len(pkts))
+		}
+		k := 0
+		for i := range asgs {
+			if beams[i] != c {
+				continue
+			}
+			got := PackInfoBits(pkts[k], infoLen)
+			if fec.CountBitErrors(infos[i], got) != 0 {
+				t.Fatalf("beam %d packet %d does not match assignment order", c, k)
+			}
+			k++
+		}
+	}
+}
+
+func TestReceiveFrameAndRouteRequiresBeams(t *testing.T) {
+	pl, _ := newTDMAPayload(t, 2, "uncoded", 64)
+	cfg := modem.FrameConfig{Carriers: 2, Slots: 2, SlotSymbols: 512, GuardSymbols: 16}
+	fc := modem.NewFrameComposer(cfg, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on beams/assignments mismatch")
+		}
+	}()
+	pl.ReceiveFrameAndRoute(fc, []modem.SlotAssignment{{Carrier: 0, Slot: 0}}, nil)
+}

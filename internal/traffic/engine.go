@@ -1,0 +1,501 @@
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/dsp"
+	"repro/internal/fec"
+	"repro/internal/frontend"
+	"repro/internal/modem"
+	"repro/internal/payload"
+	"repro/internal/pipeline"
+)
+
+// DropPolicy selects how a full downlink queue is handled.
+type DropPolicy int
+
+const (
+	// DropTail discards the newest packet when a beam's queue is full.
+	DropTail DropPolicy = iota
+	// Backpressure throttles at the source instead: a terminal is only
+	// granted as many cells as its destination beam queue can still
+	// absorb, so packets are held at the terminals rather than dropped
+	// in the sky. DropTail remains the safety net for packets already
+	// in flight (e.g. when uplink losses were overestimated).
+	Backpressure
+)
+
+// String implements fmt.Stringer.
+func (p DropPolicy) String() string {
+	if p == Backpressure {
+		return "backpressure"
+	}
+	return "drop-tail"
+}
+
+// Config parameterizes an engine run.
+type Config struct {
+	// Frame is the MF-TDMA grid used for both the return and forward
+	// link; Frame.Carriers must not exceed the payload's carrier count.
+	Frame modem.FrameConfig
+	// Plan is the downlink carrier plan; the zero value selects
+	// DefaultPlan(Frame.Carriers).
+	Plan frontend.CarrierPlan
+	// QueueDepth bounds each beam's downlink queue in packets.
+	QueueDepth int
+	// Policy selects the overload behaviour of the bounded queues.
+	Policy DropPolicy
+	// EbN0dB applies AWGN to every uplink burst at the given Eb/N0;
+	// zero or negative leaves the uplink noiseless.
+	EbN0dB float64
+	// Verify demodulates the transmitted downlink on a ground receiver
+	// and checks every delivered packet bit for bit.
+	Verify bool
+	// Seed drives the terminal payload bits and the channel noise.
+	Seed int64
+}
+
+// DefaultConfig returns a bounded, noiseless, unverified configuration
+// on the default 6-carrier frame.
+func DefaultConfig() Config {
+	return Config{
+		Frame:      modem.DefaultFrameConfig(),
+		QueueDepth: 32,
+		Policy:     DropTail,
+		Seed:       1,
+	}
+}
+
+// DefaultPlan returns a downlink carrier plan at the payload's 4
+// samples/symbol with the carriers spread evenly inside Nyquist.
+func DefaultPlan(carriers int) frontend.CarrierPlan {
+	spacing := 0.8 / float64(carriers)
+	if spacing > 0.2 {
+		spacing = 0.2
+	}
+	return frontend.CarrierPlan{Carriers: carriers, Spacing: spacing, Decim: 4}
+}
+
+// InfoBitsFor returns the largest info-bit count whose codeword fits the
+// burst payload budget (byte-ish granularity, as the link dimensioning
+// tools use throughout the repo).
+func InfoBitsFor(c fec.Codec, budget int) int {
+	k := 16
+	for c.EncodedLen(k+8) <= budget {
+		k += 8
+	}
+	return k
+}
+
+// qpkt is one packet waiting in a beam's downlink queue.
+type qpkt struct {
+	bits    []byte
+	term    int
+	ingress int // frame the packet entered the payload
+}
+
+// uplinkCell is one granted (carrier, slot) cell of the current frame.
+type uplinkCell struct {
+	asg  modem.SlotAssignment
+	term int
+	info []byte
+}
+
+// sentCell is one downlink burst of the current frame.
+type sentCell struct {
+	pkt  qpkt
+	cell modem.SlotAssignment
+}
+
+// Engine drives the closed regenerative loop frame after frame.
+type Engine struct {
+	pl        *payload.Payload
+	tx        *payload.Transmitter
+	sched     *modem.SlotScheduler
+	cfg       Config
+	terminals []Terminal
+	rngs      []*rand.Rand
+
+	queues [][]qpkt
+	frame  int
+
+	mods   sync.Pool // terminal-side burst modulators
+	gdemux *frontend.Demux
+	gdems  sync.Pool // ground-side burst demodulators
+
+	// scratch reused across frames
+	fc   *modem.FrameComposer
+	grid [][][]byte
+	sent []sentCell
+
+	met      Report
+	latSum   int
+	wall     time.Duration
+	termStat []TerminalStats
+}
+
+// New builds an engine around a booted TDMA payload. The terminal list
+// is the population; order is part of the deterministic contract (DAMA
+// requests are issued in slice order every frame).
+func New(pl *payload.Payload, cfg Config, terminals []Terminal) (*Engine, error) {
+	if pl.Mode() != payload.ModeTDMA {
+		return nil, errors.New("traffic: engine requires the TDMA waveform")
+	}
+	if cfg.Frame.Carriers < 1 || cfg.Frame.Slots < 1 {
+		return nil, errors.New("traffic: frame needs at least one carrier and one slot")
+	}
+	if cfg.Frame.Carriers > pl.Config().Carriers {
+		return nil, fmt.Errorf("traffic: frame has %d carriers, payload serves %d", cfg.Frame.Carriers, pl.Config().Carriers)
+	}
+	if cfg.QueueDepth < 1 {
+		return nil, errors.New("traffic: queue depth must be at least 1")
+	}
+	if len(terminals) == 0 {
+		return nil, errors.New("traffic: empty terminal population")
+	}
+	plan := cfg.Plan
+	if plan.Carriers == 0 {
+		plan = DefaultPlan(cfg.Frame.Carriers)
+		cfg.Plan = plan
+	}
+	if plan.Carriers != cfg.Frame.Carriers {
+		return nil, fmt.Errorf("traffic: plan has %d carriers, frame has %d", plan.Carriers, cfg.Frame.Carriers)
+	}
+	seen := make(map[string]bool, len(terminals))
+	for _, t := range terminals {
+		if t.ID == "" || t.Model == nil {
+			return nil, errors.New("traffic: terminal needs an ID and a model")
+		}
+		if seen[t.ID] {
+			return nil, fmt.Errorf("traffic: duplicate terminal %q", t.ID)
+		}
+		seen[t.ID] = true
+		if t.Beam < 0 || t.Beam >= cfg.Frame.Carriers {
+			return nil, fmt.Errorf("traffic: terminal %q beam %d outside the %d-beam downlink", t.ID, t.Beam, cfg.Frame.Carriers)
+		}
+	}
+
+	e := &Engine{
+		pl:        pl,
+		tx:        payload.NewTransmitter(pl, plan),
+		sched:     modem.NewSlotScheduler(cfg.Frame),
+		cfg:       cfg,
+		terminals: terminals,
+		rngs:      make([]*rand.Rand, len(terminals)),
+		queues:    make([][]qpkt, cfg.Frame.Carriers),
+		grid:      make([][][]byte, cfg.Frame.Carriers),
+		termStat:  make([]TerminalStats, len(terminals)),
+	}
+	for i := range e.rngs {
+		e.rngs[i] = rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
+	}
+	for c := range e.grid {
+		e.grid[c] = make([][]byte, cfg.Frame.Slots)
+	}
+	for i, t := range terminals {
+		e.termStat[i] = TerminalStats{ID: t.ID, Model: t.Model.Name()}
+	}
+	e.met.QueueHighWater = make([]int, cfg.Frame.Carriers)
+	e.mods.New = func() any {
+		return modem.NewBurstModulator(pl.BurstFormat(), 0.35, 4, 10)
+	}
+	if cfg.Verify {
+		e.gdemux = frontend.NewDemux(plan, 95)
+		e.gdems.New = func() any {
+			return modem.NewBurstDemodulator(pl.BurstFormat(), 0.35, plan.Decim, 10, modem.TimingOerderMeyr)
+		}
+	}
+	return e, nil
+}
+
+// Frame returns the number of frames processed so far.
+func (e *Engine) Frame() int { return e.frame }
+
+// QueueDepth returns the packets currently queued for a beam.
+func (e *Engine) QueueDepth(beam int) int { return len(e.queues[beam]) }
+
+// RunFrames advances the closed loop by n consecutive frames. It may be
+// called repeatedly — e.g. around a ground-initiated reconfiguration —
+// with queues, scheduler state and metrics carrying over.
+func (e *Engine) RunFrames(n int) error {
+	start := time.Now()
+	defer func() { e.wall += time.Since(start) }()
+	for i := 0; i < n; i++ {
+		if err := e.step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// step runs one frame through the loop.
+func (e *Engine) step() error {
+	f := e.frame
+	e.frame++
+	e.met.Frames++
+
+	codec, err := e.pl.Codec()
+	if err != nil || !e.pl.Chipset().FunctionHealthy(payload.FuncCoding) ||
+		!e.pl.Chipset().FunctionHealthy(payload.FuncSwitch) {
+		// Mid-reconfiguration: no coding function on board, so neither
+		// link carries traffic this frame; queued packets wait it out.
+		e.met.OutageFrames++
+		return nil
+	}
+	budget := e.pl.BurstFormat().PayloadBits()
+	k := InfoBitsFor(codec, budget)
+	e.pl.SetBurstCodedBits(codec.EncodedLen(k))
+
+	cells := e.dama(f, k)
+	if err := e.uplink(f, codec, cells); err != nil {
+		return err
+	}
+	return e.downlink(f, codec)
+}
+
+// dama releases last frame's burst time plan and grants this frame's:
+// every terminal, in population order, requests its model's demand,
+// clipped to the remaining frame capacity (and, under Backpressure, to
+// the room left in its destination beam queue).
+func (e *Engine) dama(f, k int) []uplinkCell {
+	for _, t := range e.terminals {
+		e.sched.Release(t.ID)
+	}
+	var room []int
+	if e.cfg.Policy == Backpressure {
+		room = make([]int, len(e.queues))
+		for b := range room {
+			room[b] = e.cfg.QueueDepth - len(e.queues[b])
+		}
+	}
+	var cells []uplinkCell
+	for ti, t := range e.terminals {
+		d := t.Model.Demand(f)
+		e.met.OfferedCells += d
+		e.termStat[ti].OfferedCells += d
+		if d == 0 {
+			continue
+		}
+		if room != nil {
+			if d > room[t.Beam] {
+				e.met.ThrottledCells += d - max(room[t.Beam], 0)
+				d = room[t.Beam]
+			}
+			if d <= 0 {
+				continue
+			}
+			room[t.Beam] -= d
+		}
+		if free := e.sched.Capacity() - e.sched.Allocated(); d > free {
+			e.met.DeniedCells += d - free
+			d = free
+		}
+		if d == 0 {
+			continue
+		}
+		asgs, err := e.sched.Request(t.ID, d)
+		if err != nil {
+			// Cannot happen after the clamp; keep the loop total anyway.
+			e.met.DeniedCells += d
+			continue
+		}
+		e.met.GrantedCells += len(asgs)
+		e.termStat[ti].GrantedCells += len(asgs)
+		for _, a := range asgs {
+			info := make([]byte, k)
+			rng := e.rngs[ti]
+			for i := range info {
+				info[i] = byte(rng.Intn(2))
+			}
+			cells = append(cells, uplinkCell{asg: a, term: ti, info: info})
+		}
+	}
+	return cells
+}
+
+// uplink modulates the burst time plan into an MF-TDMA frame, passes it
+// through the payload's concurrent receive pipeline and feeds the
+// decoded packets from the switch into the bounded downlink queues.
+func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
+	if len(cells) == 0 {
+		return nil
+	}
+	if e.fc == nil {
+		e.fc = modem.NewFrameComposer(e.cfg.Frame, 4)
+	} else {
+		e.fc.Reset()
+	}
+	fc := e.fc
+	asgs := make([]modem.SlotAssignment, len(cells))
+	beams := make([]int, len(cells))
+	noisy := e.cfg.EbN0dB > 0
+	esN0 := 0.0
+	if noisy {
+		esN0 = e.cfg.EbN0dB + 10*math.Log10(2*codec.Rate())
+	}
+	budget := e.pl.BurstFormat().PayloadBits()
+	pipeline.ForEach(len(cells), func(i int) {
+		c := cells[i]
+		asgs[i] = c.asg
+		beams[i] = e.terminals[c.term].Beam
+		coded := codec.Encode(c.info)
+		padded := make([]byte, budget)
+		copy(padded, coded)
+		mod := e.mods.Get().(*modem.BurstModulator)
+		wave := mod.Modulate(padded)
+		e.mods.Put(mod)
+		if noisy {
+			ch := dsp.NewChannelWith(e.cfg.Seed+int64(f)*100003+int64(i), esN0, 4)
+			wave = ch.Apply(wave)
+		}
+		fc.PlaceBurst(c.asg, wave)
+	})
+
+	receipts := e.pl.ReceiveFrameAndRoute(fc, asgs, beams)
+	drained := make(map[int][][]byte)
+	for _, b := range e.pl.Switch().Beams() {
+		drained[b] = e.pl.Switch().Drain(b)
+	}
+	next := make(map[int]int)
+	k := len(cells[0].info)
+	for i, r := range receipts {
+		e.met.UplinkBursts++
+		if r.Err != nil {
+			e.met.UplinkFailures++
+			continue
+		}
+		e.met.UplinkBitErrs += fec.CountBitErrors(cells[i].info, r.Bits[:k])
+		e.termStat[cells[i].term].UplinkBits += k
+
+		b := beams[i]
+		pkts := drained[b]
+		if next[b] >= len(pkts) {
+			return fmt.Errorf("traffic: switch under-delivered for beam %d", b)
+		}
+		bits := payload.PackInfoBits(pkts[next[b]], k)
+		next[b]++
+		if len(e.queues[b]) >= e.cfg.QueueDepth {
+			e.met.DroppedQueue++
+			continue
+		}
+		e.queues[b] = append(e.queues[b], qpkt{bits: bits, term: cells[i].term, ingress: f})
+		if d := len(e.queues[b]); d > e.met.QueueHighWater[b] {
+			e.met.QueueHighWater[b] = d
+		}
+	}
+	return nil
+}
+
+// downlink drains up to one packet per (carrier, slot) cell from the
+// beam queues into the transmit grid, transmits the wideband frame and,
+// when configured, verifies it on a ground receiver.
+func (e *Engine) downlink(f int, codec fec.Codec) error {
+	budget := e.pl.BurstFormat().PayloadBits()
+	e.sent = e.sent[:0]
+	for b := 0; b < e.cfg.Frame.Carriers; b++ {
+		for s := range e.grid[b] {
+			e.grid[b][s] = nil
+		}
+		q := e.queues[b]
+		slot := 0
+		popped := 0
+		for _, p := range q {
+			if slot >= e.cfg.Frame.Slots {
+				break
+			}
+			popped++
+			if codec.EncodedLen(len(p.bits)) > budget {
+				// A codec swap shrank the burst capacity below this
+				// packet's codeword; it can never be re-encoded.
+				e.met.DroppedReencode++
+				continue
+			}
+			e.grid[b][slot] = p.bits
+			e.sent = append(e.sent, sentCell{pkt: p, cell: modem.SlotAssignment{Carrier: b, Slot: slot}})
+			slot++
+
+			lat := f - p.ingress
+			e.latSum += lat
+			if lat > e.met.LatencyMax {
+				e.met.LatencyMax = lat
+			}
+			e.met.DeliveredPackets++
+			e.met.DeliveredBits += len(p.bits)
+			e.termStat[p.term].DeliveredBits += len(p.bits)
+		}
+		e.queues[b] = append(e.queues[b][:0], q[popped:]...)
+	}
+
+	wide, err := e.tx.TransmitFrameGrid(e.cfg.Frame, e.grid)
+	if err != nil {
+		return fmt.Errorf("traffic: frame %d downlink: %w", f, err)
+	}
+	if e.cfg.Verify {
+		e.verify(wide, codec)
+	}
+	dsp.PutVec(wide)
+	return nil
+}
+
+// verify demodulates the transmitted wideband block on a ground receiver
+// (DDC bank plus burst demodulators) and compares every delivered packet
+// bit for bit — the loopback contract of the regenerative loop.
+func (e *Engine) verify(wide dsp.Vec, codec fec.Codec) {
+	split := e.gdemux.Process(wide)
+	slotLen := e.cfg.Frame.SlotSymbols * e.cfg.Plan.Decim
+	type outcome struct {
+		lost    bool
+		bitErrs int
+	}
+	outs := make([]outcome, len(e.sent))
+	pipeline.ForEach(len(e.sent), func(i int) {
+		sc := e.sent[i]
+		base := split[sc.cell.Carrier]
+		start := sc.cell.Slot * slotLen
+		end := start + slotLen + 160 // slack for the DUC/DDC group delays
+		if end > len(base) {
+			end = len(base)
+		}
+		dem := e.gdems.Get().(*modem.BurstDemodulator)
+		res := dem.Demodulate(base[start:end])
+		e.gdems.Put(dem)
+		if !res.Found {
+			outs[i] = outcome{lost: true}
+			return
+		}
+		bits := sc.pkt.bits
+		hard := modem.HardBits(res.Soft)
+		dec := codec.Decode(fec.HardLLR(hard)[:codec.EncodedLen(len(bits))])
+		outs[i] = outcome{bitErrs: fec.CountBitErrors(bits, dec[:len(bits)])}
+	})
+	for _, o := range outs {
+		if o.lost {
+			e.met.DownlinkLost++
+		} else {
+			e.met.DownlinkBitErrs += o.bitErrs
+		}
+	}
+	for _, v := range split {
+		dsp.PutVec(v)
+	}
+}
+
+// Report snapshots the run metrics.
+func (e *Engine) Report() *Report {
+	r := e.met
+	r.Verified = e.cfg.Verify
+	r.WallSeconds = e.wall.Seconds()
+	r.ModelSeconds = float64(e.met.Frames) * FrameSeconds(e.cfg.Frame)
+	r.LatencySum = e.latSum
+	if r.DeliveredPackets > 0 {
+		r.LatencyMean = float64(e.latSum) / float64(r.DeliveredPackets)
+	}
+	r.QueueHighWater = append([]int{}, e.met.QueueHighWater...)
+	r.PerTerminal = append([]TerminalStats{}, e.termStat...)
+	return &r
+}

@@ -1,0 +1,115 @@
+package traffic
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/modem"
+)
+
+// TerminalStats is the per-terminal slice of the run metrics.
+type TerminalStats struct {
+	ID            string
+	Model         string
+	OfferedCells  int
+	GrantedCells  int
+	UplinkBits    int // info bits decoded on the uplink
+	DeliveredBits int // info bits transmitted on the downlink
+}
+
+// Report is the metrics layer of one engine run. Model-time figures use
+// the MF-TDMA frame duration at the paper's TDMA symbol rate; wall-time
+// figures measure the software pipeline itself.
+type Report struct {
+	Frames       int
+	OutageFrames int // frames skipped because no codec was loaded mid-reconfiguration
+
+	// Capacity requests.
+	OfferedCells   int // cells requested by the population
+	GrantedCells   int // cells allocated by the scheduler
+	DeniedCells    int // requests clipped by a full frame
+	ThrottledCells int // requests suppressed by downlink backpressure
+
+	// Regenerative loop.
+	UplinkBursts   int // bursts pushed through DEMOD/DECOD
+	UplinkFailures int // bursts lost on the uplink (not found / service down)
+	UplinkBitErrs  int // info-bit errors on decoded uplink bursts
+
+	// Downlink queues.
+	DeliveredPackets int
+	DeliveredBits    int
+	DroppedQueue     int // packets dropped by the bounded per-beam queues
+	DroppedReencode  int // packets whose codeword no longer fits a burst after a codec swap
+	QueueHighWater   []int
+
+	// End-to-end latency in frames (uplink ingress to downlink egress).
+	// LatencySum is the raw sum over delivered packets, so callers can
+	// compute means over run segments (phase B mean = sum delta over
+	// delivered delta); LatencyMean is the whole-run mean.
+	LatencySum  int
+	LatencyMean float64
+	LatencyMax  int
+
+	// Downlink verification (ground demodulation of the transmitted
+	// wideband block); only populated when Config.Verify is set.
+	Verified        bool
+	DownlinkLost    int
+	DownlinkBitErrs int
+
+	WallSeconds  float64
+	ModelSeconds float64
+
+	PerTerminal []TerminalStats
+}
+
+// FramesPerSecond returns the wall-clock frame rate of the run.
+func (r *Report) FramesPerSecond() float64 {
+	if r.WallSeconds == 0 {
+		return 0
+	}
+	return float64(r.Frames) / r.WallSeconds
+}
+
+// GoodputBps returns the delivered information rate against the
+// wall-clock, the software-pipeline throughput figure.
+func (r *Report) GoodputBps() float64 {
+	if r.WallSeconds == 0 {
+		return 0
+	}
+	return float64(r.DeliveredBits) / r.WallSeconds
+}
+
+// ModelGoodputBps returns the delivered information rate against the
+// simulated air interface time.
+func (r *Report) ModelGoodputBps() float64 {
+	if r.ModelSeconds == 0 {
+		return 0
+	}
+	return float64(r.DeliveredBits) / r.ModelSeconds
+}
+
+// FrameSeconds returns the air-interface duration of one MF-TDMA frame.
+func FrameSeconds(cfg modem.FrameConfig) float64 {
+	return float64(cfg.Slots*cfg.SlotSymbols) / modem.SymbolRateTDMA
+}
+
+// String renders a compact multi-line run summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "frames: %d (%d outage), %.1f frames/s wall\n", r.Frames, r.OutageFrames, r.FramesPerSecond())
+	fmt.Fprintf(&b, "capacity: %d offered, %d granted, %d denied, %d throttled\n",
+		r.OfferedCells, r.GrantedCells, r.DeniedCells, r.ThrottledCells)
+	fmt.Fprintf(&b, "uplink: %d bursts, %d lost, %d bit errors\n", r.UplinkBursts, r.UplinkFailures, r.UplinkBitErrs)
+	fmt.Fprintf(&b, "downlink: %d packets (%d bits), %d queue drops, %d re-encode drops\n",
+		r.DeliveredPackets, r.DeliveredBits, r.DroppedQueue, r.DroppedReencode)
+	fmt.Fprintf(&b, "goodput: %.0f bit/s wall, %.0f bit/s model\n", r.GoodputBps(), r.ModelGoodputBps())
+	fmt.Fprintf(&b, "latency: mean %.2f frames, max %d; queue high water %v\n", r.LatencyMean, r.LatencyMax, r.QueueHighWater)
+	if r.Verified {
+		fmt.Fprintf(&b, "verify: %d bursts lost on ground demod, %d bit errors\n", r.DownlinkLost, r.DownlinkBitErrs)
+	}
+	for _, ts := range r.PerTerminal {
+		fmt.Fprintf(&b, "  %-10s %-14s offered %4d granted %4d uplink %6d bits delivered %6d bits\n",
+			ts.ID, ts.Model, ts.OfferedCells, ts.GrantedCells, ts.UplinkBits, ts.DeliveredBits)
+	}
+	return b.String()
+}

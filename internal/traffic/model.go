@@ -1,0 +1,83 @@
+// Package traffic is the deterministic MF-TDMA traffic engine: a
+// terminal population driven by pluggable traffic models issues
+// DAMA-style capacity requests against the return-link slot scheduler
+// each frame, the resulting burst time plan is pushed through the full
+// regenerative loop (demodulate - decode - switch - re-encode -
+// remodulate), and per-beam downlink queues with a bounded depth and a
+// drop/backpressure policy couple the receive and transmit sections.
+// The engine is the repo's sustained-load harness: everything is a pure
+// function of the configuration and seed, so a run is reproducible
+// frame for frame, and a metrics layer reports throughput, latency,
+// queue depths and losses per run.
+package traffic
+
+import "fmt"
+
+// Model is a deterministic traffic source: the number of (carrier, slot)
+// cells a terminal requests for frame f. Implementations must be pure
+// functions of f so runs are reproducible.
+type Model interface {
+	Name() string
+	Demand(frame int) int
+}
+
+// CBR requests a constant number of cells every frame.
+type CBR struct{ Cells int }
+
+// Name implements Model.
+func (m CBR) Name() string { return fmt.Sprintf("cbr-%d", m.Cells) }
+
+// Demand implements Model.
+func (m CBR) Demand(int) int { return m.Cells }
+
+// OnOff is a bursty source: Cells cells per frame during the on-period,
+// silence during the off-period, with a phase offset so populations can
+// be desynchronized.
+type OnOff struct {
+	On, Off int // period lengths in frames
+	Cells   int // demand during the on-period
+	Phase   int // initial offset into the cycle
+}
+
+// Name implements Model.
+func (m OnOff) Name() string { return fmt.Sprintf("onoff-%d/%d-%d", m.On, m.Off, m.Cells) }
+
+// Demand implements Model.
+func (m OnOff) Demand(frame int) int {
+	period := m.On + m.Off
+	if period <= 0 {
+		return 0
+	}
+	if (frame+m.Phase)%period < m.On {
+		return m.Cells
+	}
+	return 0
+}
+
+// Hotspot is a background rate with periodic surges — the flash-crowd
+// shape that stresses a beam's downlink queue.
+type Hotspot struct {
+	Base   int // cells per frame outside the surge
+	Surge  int // cells per frame during the surge
+	Period int // frames between surge starts
+	Width  int // surge length in frames
+}
+
+// Name implements Model.
+func (m Hotspot) Name() string { return fmt.Sprintf("hotspot-%d/%d", m.Base, m.Surge) }
+
+// Demand implements Model.
+func (m Hotspot) Demand(frame int) int {
+	if m.Period > 0 && frame%m.Period < m.Width {
+		return m.Surge
+	}
+	return m.Base
+}
+
+// Terminal is one user terminal of the population: a traffic model plus
+// the downlink beam its packets are switched to.
+type Terminal struct {
+	ID    string
+	Beam  int
+	Model Model
+}
