@@ -314,6 +314,56 @@ func BenchmarkTrafficEngine(b *testing.B) {
 	}
 }
 
+// BenchmarkTrafficEngineImpaired is BenchmarkTrafficEngine with
+// per-terminal channel impairments, so the full burst synchronization
+// chain (fourth-power periodogram CFO estimate, unique-word candidate
+// search, blockwise phase tracking) sits on the uplink hot path — the
+// cost of closing the sync chain shows up as the delta to the clean
+// engine benchmark.
+func BenchmarkTrafficEngineImpaired(b *testing.B) {
+	cfg := payload.DefaultConfig()
+	cfg.Carriers = 3
+	pl, err := payload.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pl.SetWaveform(payload.ModeTDMA); err != nil {
+		b.Fatal(err)
+	}
+	if err := pl.SetCodec("conv-r1/2-k9"); err != nil {
+		b.Fatal(err)
+	}
+	tcfg := traffic.DefaultConfig()
+	tcfg.Frame = modem.FrameConfig{Carriers: 3, Slots: 4, SlotSymbols: 320, GuardSymbols: 16}
+	tcfg.EbN0dB = 9
+	eng, err := traffic.New(pl, tcfg, []traffic.Terminal{
+		{ID: "t0", Beam: 0, Model: traffic.CBR{Cells: 2},
+			Channel: &traffic.ChannelProfile{CFO: 0.1, Phase: 2.2, Timing: 0.5, Gain: 0.9}},
+		{ID: "t1", Beam: 1, Model: traffic.CBR{Cells: 2},
+			Channel: &traffic.ChannelProfile{CFO: -0.1, Phase: -3.0, Timing: 0.9, Gain: 1.1}},
+		// No Drift here: the engine's frame counter runs across all b.N
+		// iterations, so a ramp would walk the CFO out of the acquisition
+		// range at large -benchtime; the bench must be b.N-independent.
+		{ID: "t2", Beam: 2, Model: traffic.OnOff{On: 2, Off: 1, Cells: 2},
+			Channel: &traffic.ChannelProfile{CFO: 0.05, Phase: 1.3, Timing: 0.25}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.RunFrames(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rep := eng.Report()
+	if rep.UplinkFailures != 0 || rep.UplinkBitErrs != 0 {
+		b.Fatalf("impaired loop not clean: %d misses, %d bit errors", rep.UplinkFailures, rep.UplinkBitErrs)
+	}
+}
+
 // BenchmarkE10_FramePipeline regenerates the E10 latency/speedup table
 // at reduced size.
 func BenchmarkE10_FramePipeline(b *testing.B) {

@@ -1,11 +1,14 @@
 // Command benchjson runs the repo's performance benchmarks and writes
 // the results as machine-readable JSON (ns/op, B/op, allocs/op), so the
 // perf trajectory of the pipeline and traffic-engine hot paths can be
-// tracked across PRs instead of living in commit messages. CI runs the
-// 1x smoke variant on every push; full runs use the go test defaults:
+// tracked across PRs instead of living in commit messages. The default
+// set covers the receive/transmit pipelines, the clean traffic engine
+// and its impaired twin (the burst-sync-chain overhead is the delta
+// between the two). CI runs the 1x smoke variant on every push; full
+// runs use the go test defaults:
 //
-//	go run ./cmd/benchjson -out BENCH_PR2.json
-//	go run ./cmd/benchjson -benchtime 1x -out BENCH_PR2.json   # smoke
+//	go run ./cmd/benchjson -out BENCH_PR3.json
+//	go run ./cmd/benchjson -benchtime 1x -out BENCH_PR3.json   # smoke
 package main
 
 import (
@@ -33,7 +36,7 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// File is the BENCH_PR2.json layout.
+// File is the BENCH_PRn.json layout.
 type File struct {
 	Generated  string   `json:"generated"`
 	GoVersion  string   `json:"go_version"`
@@ -52,7 +55,7 @@ func main() {
 		"benchmark regexp (the pipeline + traffic set by default)")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (e.g. 1x for a smoke run)")
 	pkgs := flag.String("pkgs", ".,./internal/dsp", "comma-separated packages to bench")
-	out := flag.String("out", "BENCH_PR2.json", "output file")
+	out := flag.String("out", "BENCH_PR3.json", "output file")
 	flag.Parse()
 
 	file := File{

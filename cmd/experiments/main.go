@@ -19,7 +19,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced sample sizes (~10s total)")
-	only := flag.String("only", "", "run a single experiment (E1..E11, ablations)")
+	only := flag.String("only", "", "run a single experiment (E1..E12, ablations)")
 	flag.Parse()
 
 	run := func(id string) bool {
@@ -91,6 +91,19 @@ func main() {
 		res.Table.Print(out)
 		if !res.BitExact || !res.SwapOK {
 			fmt.Fprintf(out, "   E11 FAILED: bitExact=%v swapOK=%v\n", res.BitExact, res.SwapOK)
+			os.Exit(1)
+		}
+	}
+	if run("E12") {
+		cfg := experiments.DefaultE12Config()
+		if *quick {
+			cfg.Frames = 10
+			cfg.EbN0dB = []float64{6, 9}
+		}
+		res := experiments.E12Impairments(cfg)
+		res.Table.Print(out)
+		if !res.ZeroErrors || !res.AcqOK {
+			fmt.Fprintf(out, "   E12 FAILED: zeroErrors=%v acqOK=%v\n", res.ZeroErrors, res.AcqOK)
 			os.Exit(1)
 		}
 	}

@@ -6,15 +6,23 @@
 // latency, queue depths and losses; -verify additionally demodulates the
 // transmitted downlink on a ground receiver and checks every bit.
 //
+// Channel impairment flags attach a deterministic per-terminal
+// ChannelProfile (CFO spread with the extremes pinned at ±cfo, timing
+// offsets across [0, 1), phases across (-pi, pi], an optional Doppler
+// ramp), which switches the payload onto the full burst synchronization
+// chain; the report then includes per-terminal sync stats.
+//
 // Usage:
 //
 //	trafficsim -frames 100 -carriers 3 -slots 4 -codec conv-r1/2-k9 -verify
+//	trafficsim -frames 40 -ebn0 6 -cfo 0.1 -timing-spread -phase-spread -verify
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"math"
 
 	"repro/internal/core"
 	"repro/internal/modem"
@@ -36,6 +44,10 @@ func main() {
 	ebn0 := flag.Float64("ebn0", 9, "uplink Eb/N0 in dB (0 = noiseless)")
 	verify := flag.Bool("verify", false, "ground-demodulate the downlink and check every bit")
 	seed := flag.Int64("seed", 1, "random seed")
+	cfoMax := flag.Float64("cfo", 0, "spread per-terminal carrier frequency offsets across ±cfo cycles/symbol (acquisition range ±0.1)")
+	drift := flag.Float64("drift", 0, "Doppler ramp on the last terminal, cycles/symbol per frame")
+	timingSpread := flag.Bool("timing-spread", false, "spread per-terminal fractional timing offsets across [0, 1)")
+	phaseSpread := flag.Bool("phase-spread", false, "spread per-terminal carrier phase offsets across (-pi, pi]")
 	flag.Parse()
 
 	sys, err := core.NewSystem(core.DefaultSystemConfig())
@@ -72,9 +84,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	impair(terms, *cfoMax, *drift, *timingSpread, *phaseSpread)
 
 	fmt.Printf("trafficsim: %d frames, %dx%d grid, codec=%s, %d terminals (%s), queue=%d (%s), Eb/N0=%.1f dB\n",
 		*frames, *carriers, *slots, *codec, len(terms), *model, *queue, cfg.Policy, *ebn0)
+	if *cfoMax != 0 || *drift != 0 || *timingSpread || *phaseSpread {
+		fmt.Printf("impairments: CFO ±%.3f c/sym, drift %.4f c/sym/frame, timing spread %v, phase spread %v\n",
+			*cfoMax, *drift, *timingSpread, *phaseSpread)
+	}
 	rep, err := sys.RunTraffic(core.TrafficScenario{Config: cfg, Terminals: terms, Frames: *frames})
 	if err != nil {
 		log.Fatal(err)
@@ -113,4 +130,33 @@ func population(model string, n, cells, beams int) ([]traffic.Terminal, error) {
 		out[i] = traffic.Terminal{ID: fmt.Sprintf("t%d", i), Beam: i % beams, Model: m}
 	}
 	return out, nil
+}
+
+// impair attaches deterministic channel profiles sweeping the requested
+// impairments across the population: CFOs spread over ±cfoMax with the
+// extremes pinned, timing offsets over [0, 1), phases over (-pi, pi],
+// and the Doppler ramp on the last terminal. No flags set leaves the
+// population on the ideal channel (and the payload on the legacy sync
+// chain).
+func impair(terms []traffic.Terminal, cfoMax, drift float64, timingSpread, phaseSpread bool) {
+	if cfoMax == 0 && drift == 0 && !timingSpread && !phaseSpread {
+		return
+	}
+	n := len(terms)
+	for i := range terms {
+		p := &traffic.ChannelProfile{CFO: cfoMax}
+		if n > 1 {
+			p.CFO = cfoMax * (2*float64(i)/float64(n-1) - 1)
+		}
+		if timingSpread {
+			p.Timing = float64(i) / float64(n)
+		}
+		if phaseSpread {
+			p.Phase = 2*math.Pi*float64(i+1)/float64(n) - math.Pi
+		}
+		if i == n-1 {
+			p.Drift = drift
+		}
+		terms[i].Channel = p
+	}
 }

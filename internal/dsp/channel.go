@@ -21,7 +21,14 @@ type Channel struct {
 	// PhaseOffset (radians) and FreqOffset (cycles/sample) rotate the signal.
 	PhaseOffset float64
 	FreqOffset  float64
-	// TimingOffset is a fractional-sample delay applied via interpolation.
+	// FreqDrift is a Doppler ramp: it is added to FreqOffset after every
+	// Apply call, so a channel instance fed one block per frame models a
+	// carrier that drifts frame to frame (e.g. a terminal on an inclined
+	// orbit). Zero keeps the offset constant.
+	FreqDrift float64
+	// TimingOffset is a sample delay applied via interpolation; the
+	// integer part is a whole-sample shift, the fractional remainder is
+	// interpolated, so any real offset (negative, >= 1) is legal.
 	TimingOffset float64
 	// Gain scales the signal before noise.
 	Gain float64
@@ -62,18 +69,21 @@ func (c *Channel) Apply(in Vec) Vec {
 		out = nco.Mix(out)
 	}
 	c.addNoise(out)
+	c.FreqOffset += c.FreqDrift
 	return out
 }
 
 // addNoise adds complex AWGN sized for the configured Es/N0 against the
-// block's own measured power.
+// block's own measured power. A silent block (all-idle downlink frames
+// are legal) has no signal energy to scale against, so it stays silent
+// rather than receiving full-power noise.
 func (c *Channel) addNoise(v Vec) {
 	if c.EsN0dB >= 300 {
 		return
 	}
 	p := v.Power()
 	if p == 0 {
-		p = 1
+		return
 	}
 	sps := c.SPS
 	if sps < 1 {
@@ -97,13 +107,30 @@ func (c *Channel) AWGN(v Vec, variance float64) {
 	}
 }
 
-// fractionalDelay shifts the block by mu samples (0 <= mu < 1) using cubic
-// interpolation; the first output sample corresponds to input position mu.
+// fractionalDelay shifts the block by mu samples using cubic
+// interpolation; the first output sample corresponds to input position
+// mu. The integer part of mu becomes a whole-sample index shift and only
+// the fractional remainder (always normalized into [0, 1)) is
+// interpolated, so negative and >= 1 offsets are handled exactly rather
+// than extrapolating the cubic outside its design range. The block edges
+// clamp to the first/last sample, matching Farrow.InterpAt.
 func fractionalDelay(in Vec, mu float64) Vec {
+	shift := int(math.Floor(mu))
+	frac := mu - float64(shift) // in [0, 1)
 	var f Farrow
 	out := NewVec(len(in))
+	idx := func(k int) complex128 {
+		if k < 0 {
+			k = 0
+		}
+		if k > len(in)-1 {
+			k = len(in) - 1
+		}
+		return in[k]
+	}
 	for i := range out {
-		out[i] = f.InterpAt(in, float64(i)+mu)
+		base := i + shift
+		out[i] = f.Interp(idx(base-1), idx(base), idx(base+1), idx(base+2), frac)
 	}
 	return out
 }

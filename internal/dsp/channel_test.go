@@ -1,0 +1,129 @@
+package dsp
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+)
+
+// noiseless returns a channel that applies only the deterministic
+// impairments set on it afterwards.
+func noiseless(seed int64) *Channel { return NewChannel(seed) }
+
+// rampVec builds a smooth deterministic test signal (a complex tone) so
+// interpolation errors would be visible anywhere in the block.
+func rampVec(n int) Vec {
+	v := NewVec(n)
+	for i := range v {
+		v[i] = cmplx.Exp(complex(0, 0.1*float64(i))) * complex(1+0.01*float64(i), 0)
+	}
+	return v
+}
+
+// An exactly integer TimingOffset must reduce to a pure sample shift —
+// the cubic runs at mu=0 where it reproduces its basepoint — including
+// negative shifts, with edges clamped.
+func TestChannelTimingOffsetIntegerIsExactShift(t *testing.T) {
+	in := rampVec(64)
+	for _, off := range []float64{1, 2, -1} {
+		ch := noiseless(1)
+		ch.TimingOffset = off
+		out := ch.Apply(in)
+		shift := int(off)
+		for i := range out {
+			k := i + shift
+			if k < 0 {
+				k = 0
+			}
+			if k > len(in)-1 {
+				k = len(in) - 1
+			}
+			if d := out[i] - in[k]; cmplx.Abs(d) > 1e-12 {
+				t.Fatalf("offset %g: out[%d] != in[%d] (|d|=%g)", off, i, k, cmplx.Abs(d))
+			}
+		}
+	}
+}
+
+// Offsets beyond [0, 1) must normalize into an integer shift plus the
+// fractional remainder: mu = n + frac interpolates with the same
+// fractional phase as mu = frac, just shifted n samples — for positive
+// and negative offsets alike.
+func TestChannelTimingOffsetNormalizesIntegerPart(t *testing.T) {
+	in := rampVec(96)
+	apply := func(off float64) Vec {
+		ch := noiseless(1)
+		ch.TimingOffset = off
+		return ch.Apply(in)
+	}
+	cases := []struct {
+		big, frac float64
+		shift     int
+	}{
+		{2.25, 0.25, 2},
+		{1.75, 0.75, 1},
+		{-0.75, 0.25, -1},
+		{-1.5, 0.5, -2},
+	}
+	for _, c := range cases {
+		big, small := apply(c.big), apply(c.frac)
+		// Compare away from the clamped edges.
+		for i := 4; i < len(in)-4; i++ {
+			k := i + c.shift
+			if k < 4 || k > len(in)-5 {
+				continue
+			}
+			if d := big[i] - small[k]; cmplx.Abs(d) > 1e-12 {
+				t.Fatalf("offset %g: out[%d] != out_frac[%d] (|d|=%g)", c.big, i, k, cmplx.Abs(d))
+			}
+		}
+	}
+}
+
+// FreqDrift ramps the carrier frame to frame: the n-th Apply call must
+// match a fresh channel configured at FreqOffset + n*FreqDrift.
+func TestChannelFreqDriftRampsAcrossApplies(t *testing.T) {
+	in := rampVec(48)
+	drifting := noiseless(2)
+	drifting.FreqOffset = 0.01
+	drifting.FreqDrift = 0.002
+	var got []Vec
+	for n := 0; n < 3; n++ {
+		got = append(got, drifting.Apply(in))
+	}
+	for n := 0; n < 3; n++ {
+		ref := noiseless(2)
+		ref.FreqOffset = 0.01 + 0.002*float64(n)
+		want := ref.Apply(in)
+		for i := range want {
+			if d := got[n][i] - want[i]; cmplx.Abs(d) > 1e-12 {
+				t.Fatalf("frame %d sample %d: drifting channel diverges (|d|=%g)", n, i, cmplx.Abs(d))
+			}
+		}
+	}
+}
+
+// A silent block through a finite-Es/N0 channel must stay silent: there
+// is no signal energy to scale the noise against, and the old p=1
+// fallback injected full-power noise into legal all-idle frames.
+func TestChannelSilentBlockStaysSilent(t *testing.T) {
+	ch := NewChannelWith(3, 10, 4)
+	out := ch.Apply(NewVec(256))
+	for i, v := range out {
+		if v != 0 {
+			t.Fatalf("sample %d = %v on a silent block", i, v)
+		}
+	}
+	// And the channel still adds noise to a live block afterwards.
+	live := ch.Apply(rampVec(256))
+	diff := 0.0
+	for i, v := range live {
+		diff += cmplx.Abs(v - rampVec(256)[i])
+	}
+	if diff == 0 {
+		t.Fatal("live block received no noise")
+	}
+	if math.IsNaN(diff) {
+		t.Fatal("noise produced NaN")
+	}
+}

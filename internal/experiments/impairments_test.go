@@ -1,0 +1,33 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// The E12 contract at reduced size: the impaired population demodulates
+// error-free at and above 6 dB, the low point degrades without losing
+// the run, and the frequency estimates track the injected CFOs.
+func TestE12ImpairmentsZeroErrorsInRange(t *testing.T) {
+	cfg := DefaultE12Config()
+	cfg.Frames = 8
+	cfg.Frame.Carriers = 2
+	cfg.Frame.Slots = 3
+	cfg.EbN0dB = []float64{6, 9}
+	res := E12Impairments(cfg)
+	if !res.ZeroErrors {
+		for _, p := range res.Points {
+			t.Logf("Eb/N0 %.0f: %d misses, %d bit errs", p.EbN0dB, p.Report.UplinkFailures, p.Report.UplinkBitErrs)
+		}
+		t.Fatal("impaired population not error-free at >= 6 dB")
+	}
+	if !res.AcqOK {
+		t.Fatal("frequency estimates do not track the injected CFOs")
+	}
+	for _, p := range res.Points {
+		if p.Report.UplinkBursts == 0 {
+			t.Fatalf("no uplink traffic at %.0f dB", p.EbN0dB)
+		}
+	}
+	res.Table.Print(io.Discard)
+}

@@ -140,24 +140,61 @@ type BurstResult struct {
 	UWIndex    int       // symbol index where the unique word starts
 	Phase      float64   // carrier phase estimate (radians)
 	UWMetric   float64   // normalized unique-word correlation magnitude
+	FreqEst    float64   // feedforward CFO estimate (cycles/symbol); 0 unless FreqRecovery ran
+	Timing     float64   // fractional timing offset (samples); Oerder-Meyr only — Gardner tracks per symbol and reports 0
 	Soft       []float64 // payload soft bits (positive ⇒ 0)
 	TimingUsed TimingMode
 }
 
-// BurstDemodulator recovers burst payloads: matched filter, timing
-// recovery (Gardner or Oerder-Meyr), unique-word search, data-aided phase
-// correction, demapping.
-type BurstDemodulator struct {
-	fmt    BurstFormat
-	mf     *dsp.MatchedFilter
-	mode   TimingMode
-	sps    int
-	thresh float64
+// DefaultUWThreshold is the normalized unique-word correlation magnitude
+// required to declare a burst when SyncConfig leaves it unset.
+const DefaultUWThreshold = 0.6
+
+// SyncConfig selects the stages of the burst synchronization chain. The
+// zero value reproduces the legacy chain exactly (UW phase only, default
+// threshold), so demodulators built for clean channels stay bit-identical
+// to earlier behaviour.
+type SyncConfig struct {
+	// UWThreshold overrides the unique-word detection threshold;
+	// 0 selects DefaultUWThreshold.
+	UWThreshold float64
+	// FreqRecovery runs the delay-and-multiply feedforward CFO estimator
+	// (EstimateFrequencyQPSK) over the recovered symbols and derotates
+	// the stream before the unique-word search, extending acquisition
+	// from the few-milliradian residual the UW phase absorbs to the
+	// estimator's ±1/8 cycle/symbol range.
+	FreqRecovery bool
+	// PhaseTrack follows residual carrier phase across the payload with
+	// blockwise feedforward fourth-power estimates unwrapped from the UW
+	// phase, so long bursts stay locked under the CFO left by the
+	// feedforward estimate. Slips need a whole block average off by more
+	// than pi/4 — far rarer at the coded-regime Es/N0 than the
+	// symbol-decision errors that slip a decision-directed loop.
+	PhaseTrack bool
 }
 
-// NewBurstDemodulator builds the receive side. For TimingGardner sps must
-// be 2; for TimingOerderMeyr sps must be >= 4.
+// BurstDemodulator recovers burst payloads: matched filter, timing
+// recovery (Gardner or Oerder-Meyr), optional feedforward frequency
+// recovery, unique-word search, data-aided phase correction and optional
+// residual phase tracking, demapping.
+type BurstDemodulator struct {
+	fmt  BurstFormat
+	mf   *dsp.MatchedFilter
+	mode TimingMode
+	sps  int
+	sync SyncConfig
+}
+
+// NewBurstDemodulator builds the receive side with the legacy sync chain
+// (zero SyncConfig). For TimingGardner sps must be 2; for TimingOerderMeyr
+// sps must be >= 4.
 func NewBurstDemodulator(f BurstFormat, beta float64, sps, span int, mode TimingMode) *BurstDemodulator {
+	return NewBurstDemodulatorSync(f, beta, sps, span, mode, SyncConfig{})
+}
+
+// NewBurstDemodulatorSync builds the receive side with an explicit
+// synchronization configuration.
+func NewBurstDemodulatorSync(f BurstFormat, beta float64, sps, span int, mode TimingMode, sc SyncConfig) *BurstDemodulator {
 	switch mode {
 	case TimingGardner:
 		if sps != 2 {
@@ -168,14 +205,20 @@ func NewBurstDemodulator(f BurstFormat, beta float64, sps, span int, mode Timing
 			panic("modem: Oerder-Meyr timing requires >= 4 samples per symbol")
 		}
 	}
+	if sc.UWThreshold == 0 {
+		sc.UWThreshold = DefaultUWThreshold
+	}
 	return &BurstDemodulator{
-		fmt:    f,
-		mf:     dsp.NewMatchedFilter(beta, sps, span),
-		mode:   mode,
-		sps:    sps,
-		thresh: 0.6,
+		fmt:  f,
+		mf:   dsp.NewMatchedFilter(beta, sps, span),
+		mode: mode,
+		sps:  sps,
+		sync: sc,
 	}
 }
+
+// Sync returns the demodulator's synchronization configuration.
+func (d *BurstDemodulator) Sync() SyncConfig { return d.sync }
 
 // Demodulate processes a received waveform containing one burst. The
 // demodulator is fully reset per call, so a recycled instance (e.g. from
@@ -186,23 +229,106 @@ func (d *BurstDemodulator) Demodulate(rx dsp.Vec) BurstResult {
 	filtered := d.mf.ProcessInto(dsp.GetVec(len(rx)), rx)
 
 	var syms dsp.Vec
+	var tau float64
 	switch d.mode {
 	case TimingGardner:
 		g := NewGardner(0.05, 0.0005)
 		syms = g.Process(filtered)
 	case TimingOerderMeyr:
 		om := NewOerderMeyr(d.sps)
-		syms, _ = om.Recover(filtered)
+		syms, tau = om.Recover(filtered)
 	}
 	dsp.PutVec(filtered)
 
-	res := BurstResult{TimingUsed: d.mode}
+	res := BurstResult{TimingUsed: d.mode, Timing: tau}
 	uw := d.fmt.UWSymbols()
 	if len(syms) < len(uw)+d.fmt.PayloadLen {
 		return res
 	}
+	if d.sync.FreqRecovery {
+		// Estimate over the burst span only: a slot is longer than the
+		// burst, and the noise-only tail would dilute the fourth-power
+		// correlation sums for no benefit (the burst sits at the slot
+		// start, shifted by at most the shaping-filter group delays).
+		est := syms
+		if n := d.fmt.TotalSymbols() + 16; len(est) > n {
+			est = est[:n]
+		}
+		res.FreqEst = EstimateFrequencyQPSK(est)
+	}
+	var bestIdx int
+	var bestMag float64
+	var bestCorr complex128
+	var pooled dsp.Vec // winning candidate buffer, released before return
+	if d.sync.FreqRecovery {
+		// The fourth power is blind to quarter-cycle wraps: a burst at
+		// the range edge (or beyond ±1/8) estimates 1/4 cycle/symbol
+		// off, and because a 1/4-cycle residual rotates QPSK onto QPSK
+		// the wrapped stream still shows a plausible unique word (the
+		// UW's rotated self-correlation sits near the threshold). Only
+		// the data-aided search can disambiguate, so every wrap
+		// candidate is scored and the best unique-word metric wins —
+		// a correct estimate beats its wrapped twins by a wide margin.
+		base, raw := res.FreqEst, syms
+		bestIdx = -1
+		best, scratch := dsp.GetVec(len(raw)), dsp.GetVec(len(raw))
+		for i, df := range [...]float64{0, -1. / 4, 1. / 4} {
+			dst := scratch
+			if i == 0 {
+				dst = best
+			}
+			correctFrequencyInto(dst, raw, base+df)
+			idx, mag, corr := d.searchUW(dst)
+			if mag > bestMag {
+				bestIdx, bestMag, bestCorr = idx, mag, corr
+				res.FreqEst = base + df
+				if i != 0 {
+					best, scratch = scratch, best
+				}
+			}
+		}
+		dsp.PutVec(scratch)
+		pooled, syms = best, best
+	} else {
+		bestIdx, bestMag, bestCorr = d.searchUW(syms)
+	}
+	res.UWMetric = bestMag
+	if bestIdx < 0 || bestMag < d.sync.UWThreshold {
+		if pooled != nil {
+			dsp.PutVec(pooled)
+		}
+		return res
+	}
+	res.Found = true
+	res.UWIndex = bestIdx
+	// Data-aided phase from the UW correlation.
+	res.Phase = cmplx.Phase(bestCorr)
 
-	// Non-coherent unique-word search: peak of |correlation|.
+	payloadStart := bestIdx + len(uw)
+	payload := syms[payloadStart : payloadStart+d.fmt.PayloadLen]
+	var derot dsp.Vec
+	if d.sync.PhaseTrack {
+		// The UW phase is exact only at the unique word; under residual
+		// CFO the payload keeps rotating, so blockwise feedforward
+		// estimates anchored at the UW phase follow it across the
+		// payload.
+		derot = TrackPhaseQPSK(payload, res.Phase)
+	} else {
+		derot = Derotate(payload, res.Phase)
+	}
+	res.Soft = d.fmt.Mod.Demap(derot, 1)
+	if pooled != nil {
+		dsp.PutVec(pooled)
+	}
+	return res
+}
+
+// searchUW runs the non-coherent unique-word search — peak of the
+// normalized |correlation| over every offset that leaves room for the
+// payload — returning the winning offset, its metric, and the raw
+// correlation (whose phase is the data-aided carrier estimate).
+func (d *BurstDemodulator) searchUW(syms dsp.Vec) (int, float64, complex128) {
+	uw := d.fmt.UWSymbols()
 	bestIdx, bestMag := -1, 0.0
 	var bestCorr complex128
 	for off := 0; off+len(uw)+d.fmt.PayloadLen <= len(syms); off++ {
@@ -221,18 +347,5 @@ func (d *BurstDemodulator) Demodulate(rx dsp.Vec) BurstResult {
 			bestMag, bestIdx, bestCorr = mag, off, acc
 		}
 	}
-	res.UWMetric = bestMag
-	if bestIdx < 0 || bestMag < d.thresh {
-		return res
-	}
-	res.Found = true
-	res.UWIndex = bestIdx
-	// Data-aided phase from the UW correlation.
-	res.Phase = cmplx.Phase(bestCorr)
-
-	payloadStart := bestIdx + len(uw)
-	payload := syms[payloadStart : payloadStart+d.fmt.PayloadLen]
-	corrected := Derotate(payload, res.Phase)
-	res.Soft = d.fmt.Mod.Demap(corrected, 1)
-	return res
+	return bestIdx, bestMag, bestCorr
 }

@@ -75,6 +75,11 @@ func NewCostas(kp, ki float64) *CostasLoop {
 // Phase returns the current phase estimate in radians.
 func (c *CostasLoop) Phase() float64 { return c.phase }
 
+// SetPhase seeds the loop with a data-aided phase estimate (e.g. the
+// burst unique-word phase), so tracking starts locked instead of pulling
+// in from zero.
+func (c *CostasLoop) SetPhase(phi float64) { c.phase = phi }
+
 // Process derotates each symbol by the loop phase and updates the loop
 // with the decision-directed error.
 func (c *CostasLoop) Process(in dsp.Vec) dsp.Vec {

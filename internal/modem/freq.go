@@ -17,19 +17,102 @@ import (
 
 // EstimateFrequencyQPSK returns the frequency offset in cycles/symbol
 // estimated from symbol-rate samples, unambiguous within ±1/8
-// cycle/symbol (the fourth power multiplies the rotation by 4).
+// cycle/symbol (the fourth power multiplies the rotation by 4 and is
+// blind to quarter-cycle wraps, which the demodulator's unique-word
+// candidate search resolves). The estimate is the peak of the
+// fourth-power periodogram — the one-tone ML estimator — searched over
+// the full fourth-power Nyquist interval on a half-bin grid, then
+// polished on a local fine grid with parabolic interpolation. The
+// global search integrates the whole sequence into every candidate
+// bin, so unlike delay-and-multiply correlation stages it has no
+// single statistic whose noise tail can gross-fail or alias the
+// estimate at low Es/N0. Fourth-power samples are normalized to unit
+// magnitude, which tames the heavy noise tails the fourth power would
+// otherwise raise to the 8th power in the sums.
 func EstimateFrequencyQPSK(syms dsp.Vec) float64 {
 	if len(syms) < 2 {
 		return 0
 	}
-	var acc complex128
-	prev := qpow4(syms[0])
-	for i := 1; i < len(syms); i++ {
-		cur := qpow4(syms[i])
-		acc += cur * cmplx.Conj(prev)
-		prev = cur
+	z := dsp.GetVec(len(syms))
+	for i, s := range syms {
+		p := qpow4(s)
+		if m := cmplx.Abs(p); m > 0 {
+			z[i] = p * complex(1/m, 0)
+		} else {
+			z[i] = 0
+		}
 	}
-	return cmplx.Phase(acc) / (4 * 2 * math.Pi)
+	// The line sits at u = 4f cycles/sample in fourth-power units.
+	// Coarse: half-bin spacing over u in [-1/2, 1/2) keeps scalloping
+	// loss of an off-grid peak under 1 dB.
+	n := len(z)
+	coarseDu := 1 / (2 * float64(n))
+	u := peakSearch(z, -0.5, coarseDu, 2*n)
+	// Fine: an eighth-bin grid across the winning coarse bin pair, with
+	// parabolic interpolation taking the estimate well below grid
+	// resolution.
+	fineDu := coarseDu / 8
+	u = peakSearchParabolic(z, u-coarseDu, fineDu, 17)
+	dsp.PutVec(z)
+	// Fold the quarter-cycle-ambiguous estimate into ±1/8.
+	f := u / 4
+	if f > 0.125 {
+		f -= 0.25
+	}
+	if f <= -0.125 {
+		f += 0.25
+	}
+	return f
+}
+
+// specPower evaluates the fourth-power periodogram of z at u
+// cycles/sample.
+func specPower(z dsp.Vec, u float64) float64 {
+	step := cmplx.Exp(complex(0, -2*math.Pi*u))
+	rot := complex(1, 0)
+	var acc complex128
+	for _, v := range z {
+		acc += v * rot
+		rot *= step
+	}
+	return real(acc)*real(acc) + imag(acc)*imag(acc)
+}
+
+// peakSearch grids the periodogram from u0 in steps of du and returns
+// the winning frequency, keeping only the running maximum (the coarse
+// pass over 2n bins would otherwise allocate a power table per burst).
+func peakSearch(z dsp.Vec, u0, du float64, bins int) float64 {
+	bestU, bestP := u0, -1.0
+	for k := 0; k < bins; k++ {
+		u := u0 + float64(k)*du
+		if p := specPower(z, u); p > bestP {
+			bestP, bestU = p, u
+		}
+	}
+	return bestU
+}
+
+// peakSearchParabolic is peakSearch plus a parabolic fit through the
+// winning bin and its neighbours (skipped at the grid edges), locating
+// the peak below grid resolution.
+func peakSearchParabolic(z dsp.Vec, u0, du float64, bins int) float64 {
+	pow := make([]float64, bins)
+	bestK, bestP := 0, -1.0
+	for k := range pow {
+		p := specPower(z, u0+float64(k)*du)
+		pow[k] = p
+		if p > bestP {
+			bestP, bestK = p, k
+		}
+	}
+	u := u0 + float64(bestK)*du
+	if bestK > 0 && bestK < bins-1 {
+		a, b, c := pow[bestK-1], pow[bestK], pow[bestK+1]
+		if denom := a - 2*b + c; denom < 0 {
+			u += du * 0.5 * (a - c) / denom
+		}
+	}
+	return u
 }
 
 func qpow4(s complex128) complex128 {
@@ -37,12 +120,71 @@ func qpow4(s complex128) complex128 {
 	return s2 * s2
 }
 
+// TrackPhaseQPSK derotates a QPSK payload with blockwise feedforward
+// fourth-power (Viterbi&Viterbi) phase estimates. Each block's estimate
+// carries a pi/2 ambiguity, resolved by unwrapping toward the previous
+// block's phase, with anchor seeding the chain — for a burst, the
+// data-aided unique-word phase, which pins the absolute quadrant. The
+// tracker follows any residual rotation slower than pi/4 per block. It
+// is far more slip-resistant than a symbol-rate decision-directed loop:
+// a slip needs a whole 32-symbol block average to err by more than
+// pi/4, not a run of single-symbol decisions. It is not slip-proof —
+// the unwrap chains through blocks, so a block that bad rotates the
+// remainder of the payload a quadrant off, which is why the chain is
+// only specified down to the coded-regime Es/N0.
+func TrackPhaseQPSK(payload dsp.Vec, anchor float64) dsp.Vec {
+	// 32 symbols averages enough noise for a stable fourth-power
+	// estimate at the coded-regime Es/N0 while keeping the phase ramp
+	// within a block (residual CFO x block length) small against the
+	// QPSK decision margin.
+	const block = 32
+	out := dsp.NewVec(len(payload))
+	prev := anchor
+	for b := 0; b < len(payload); b += block {
+		e := b + block
+		if e > len(payload) {
+			e = len(payload)
+		}
+		var acc complex128
+		for _, s := range payload[b:e] {
+			p := qpow4(s)
+			if m := cmplx.Abs(p); m > 0 {
+				acc += p * complex(1/m, 0)
+			}
+		}
+		th := prev
+		if acc != 0 {
+			// QPSK symbols sit at pi/4 + k*pi/2, so s^4 = e^{j(pi+4*phi)}:
+			// the block phase is (arg - pi)/4 modulo pi/2.
+			th = (cmplx.Phase(acc) - math.Pi) / 4
+			th += math.Round((prev-th)/(math.Pi/2)) * (math.Pi / 2)
+		}
+		rot := cmplx.Exp(complex(0, -th))
+		for i := b; i < e; i++ {
+			out[i] = payload[i] * rot
+		}
+		prev = th
+	}
+	return out
+}
+
 // CorrectFrequency derotates a symbol stream by the given offset in
 // cycles/symbol.
 func CorrectFrequency(syms dsp.Vec, freq float64) dsp.Vec {
 	out := dsp.NewVec(len(syms))
-	for i, s := range syms {
-		out[i] = s * cmplx.Exp(complex(0, -2*math.Pi*freq*float64(i)))
-	}
+	correctFrequencyInto(out, syms, freq)
 	return out
+}
+
+// correctFrequencyInto derotates src by freq cycles/symbol into dst
+// (len(dst) >= len(src)) with a single complex exponential and a
+// rotator recurrence — the burst demodulator runs this once per
+// unique-word candidate on its hot path.
+func correctFrequencyInto(dst, src dsp.Vec, freq float64) {
+	step := cmplx.Exp(complex(0, -2*math.Pi*freq))
+	rot := complex(1, 0)
+	for i, s := range src {
+		dst[i] = s * rot
+		rot *= step
+	}
 }

@@ -244,6 +244,25 @@ func TestCostasTracksStaticPhase(t *testing.T) {
 	}
 }
 
+// A loop seeded with a data-aided estimate starts locked: the very
+// first symbols already sit on the constellation, with no pull-in run.
+func TestCostasSetPhaseStartsLocked(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	syms := QPSK.Map(randBits(rng, 2*64))
+	rot := Derotate(syms, -0.4)
+	c := NewCostas(0.05, 0.001)
+	c.SetPhase(0.4)
+	if c.Phase() != 0.4 {
+		t.Fatal("SetPhase not applied")
+	}
+	out := c.Process(rot)
+	for i := range out {
+		if d := cmplx.Abs(out[i] - syms[i]); d > 0.05 {
+			t.Fatalf("symbol %d off by %g despite seeded phase", i, d)
+		}
+	}
+}
+
 func TestBurstFormatLayout(t *testing.T) {
 	f := DefaultBurstFormat(100)
 	if f.TotalSymbols() != 32+16+100 {

@@ -17,7 +17,14 @@ type BurstReceipt struct {
 	Assignment modem.SlotAssignment
 	Found      bool
 	Soft       []float64
-	UWMetric   float64
+	// UWMetric mirrors Sync.UWMetric — the field predates SyncInfo and
+	// is kept for callers of the original receipt shape.
+	UWMetric float64
+	// Sync carries the burst-synchronization diagnostics (UW metric, CFO
+	// estimate, timing offset, carrier phase) of the demodulation stage,
+	// populated for found and missed bursts alike so callers can study
+	// acquisition behaviour under channel impairments.
+	Sync SyncInfo
 	// Bits holds the decoded info bits when the receiving call also ran
 	// the DECOD stage (ReceiveFrameAndRoute); nil otherwise.
 	Bits []byte
@@ -36,7 +43,9 @@ func (p *Payload) ReceiveFrame(fc *modem.FrameComposer, assignments []modem.Slot
 	pipeline.ForEach(len(assignments), func(i int) {
 		a := assignments[i]
 		r := BurstReceipt{Assignment: a}
-		soft, err := p.DemodulateCarrier(a.Carrier, fc.SlotWaveform(a))
+		soft, info, err := p.demodulateCarrier(a.Carrier, fc.SlotWaveform(a))
+		r.Sync = info
+		r.UWMetric = info.UWMetric
 		if err != nil {
 			r.Err = err
 		} else {
@@ -65,7 +74,9 @@ func (p *Payload) ReceiveFrameAndRoute(fc *modem.FrameComposer, assignments []mo
 	pipeline.ForEach(len(assignments), func(i int) {
 		a := assignments[i]
 		r := BurstReceipt{Assignment: a}
-		soft, err := p.DemodulateCarrier(a.Carrier, fc.SlotWaveform(a))
+		soft, info, err := p.demodulateCarrier(a.Carrier, fc.SlotWaveform(a))
+		r.Sync = info
+		r.UWMetric = info.UWMetric
 		if err != nil {
 			r.Err = err
 			out[i] = r

@@ -78,8 +78,11 @@ type Payload struct {
 	// stand in for the bank of identical per-carrier FPGA chains. The
 	// pools avoid redesigning RRC taps for every burst and let any
 	// number of concurrent workers demodulate without shared state.
-	tdmaDemods sync.Pool
-	cdmaDemods sync.Pool
+	tdmaDemods   sync.Pool
+	cdmaDemods   sync.Pool
+	syncCfg      modem.SyncConfig
+	syncAuto     bool // engine-chosen default active
+	syncExplicit bool // SetSyncConfig called; engines leave it alone
 
 	// codedBits bounds the soft bits fed to the decoder per burst
 	// (0 = decode the whole burst payload); see SetBurstCodedBits.
@@ -102,10 +105,67 @@ func New(cfg Config) (*Payload, error) {
 		burstFormat: modem.DefaultBurstFormat(cfg.TDMAPayloadSymbols),
 	}
 	p.tdmaDemods.New = func() any {
-		return modem.NewBurstDemodulator(p.burstFormat, 0.35, 4, 10, modem.TimingOerderMeyr)
+		return modem.NewBurstDemodulatorSync(p.burstFormat, 0.35, 4, 10, modem.TimingOerderMeyr, p.syncCfg)
 	}
 	p.cdmaDemods.New = func() any { return cdma.NewDemodulator(p.cfg.CDMA) }
 	return p, nil
+}
+
+// SetSyncConfig reconfigures the TDMA burst synchronization chain (UW
+// threshold, feedforward frequency recovery, residual phase tracking)
+// and rebuilds the demodulator pool so every subsequently drawn instance
+// uses it. The zero SyncConfig is the boot default — the legacy UW-phase-
+// only chain — so clean-channel callers are untouched. Set it once at
+// link configuration time, before frames are processed. An explicit
+// call is sticky: traffic engines leave it alone (see SetSyncConfigAuto).
+func (p *Payload) SetSyncConfig(sc modem.SyncConfig) {
+	p.syncAuto = false
+	p.syncExplicit = true
+	p.applySyncConfig(sc)
+}
+
+// SetSyncConfigAuto applies an engine-chosen sync default. Unlike an
+// explicit SetSyncConfig it stays engine-managed: a later engine may
+// replace it (an impaired population enables the full chain, a clean
+// one restores the legacy chain), so one engine's auto-enabled chain
+// never leaks into the next engine sharing this payload.
+func (p *Payload) SetSyncConfigAuto(sc modem.SyncConfig) {
+	p.syncAuto = true
+	p.syncExplicit = false
+	p.applySyncConfig(sc)
+}
+
+// SyncConfigAuto reports whether the active sync configuration is an
+// engine-chosen default rather than an explicit SetSyncConfig call.
+func (p *Payload) SyncConfigAuto() bool { return p.syncAuto }
+
+// SyncConfigExplicit reports whether the active sync configuration was
+// set by an explicit SetSyncConfig call — sticky even when it equals
+// the zero value (a caller may pin the legacy chain on purpose), so
+// engines must not replace it.
+func (p *Payload) SyncConfigExplicit() bool { return p.syncExplicit }
+
+func (p *Payload) applySyncConfig(sc modem.SyncConfig) {
+	p.syncCfg = sc
+	p.tdmaDemods = sync.Pool{New: func() any {
+		return modem.NewBurstDemodulatorSync(p.burstFormat, 0.35, 4, 10, modem.TimingOerderMeyr, p.syncCfg)
+	}}
+}
+
+// SyncConfig returns the active TDMA burst synchronization configuration.
+func (p *Payload) SyncConfig() modem.SyncConfig { return p.syncCfg }
+
+// SyncInfo carries the burst-synchronization diagnostics of one
+// demodulated TDMA burst, the per-burst view the traffic engine
+// aggregates into per-terminal sync stats. CDMA bursts and receipts
+// whose demodulation never ran (service down, bad carrier) leave it
+// zero with Scanned false.
+type SyncInfo struct {
+	Scanned  bool    // the TDMA demodulation stage ran its UW scan
+	UWMetric float64 // normalized unique-word correlation magnitude
+	FreqEst  float64 // feedforward CFO estimate (cycles/symbol)
+	Timing   float64 // fractional timing offset used (samples)
+	Phase    float64 // UW carrier phase (radians)
 }
 
 // SetBurstCodedBits declares how many soft bits of each burst carry the
@@ -263,8 +323,15 @@ var ErrServiceDown = errors.New("payload: service down")
 // carrier wrapper over the same demodulator bank the frame pipeline
 // uses, so sequential and batch reception are bit-identical.
 func (p *Payload) DemodulateCarrier(carrier int, rx dsp.Vec) ([]float64, error) {
+	soft, _, err := p.demodulateCarrier(carrier, rx)
+	return soft, err
+}
+
+// demodulateCarrier is DemodulateCarrier plus the per-burst sync
+// diagnostics the frame pipeline plumbs into receipts.
+func (p *Payload) demodulateCarrier(carrier int, rx dsp.Vec) ([]float64, SyncInfo, error) {
 	if carrier < 0 || carrier >= p.cfg.Carriers {
-		return nil, errors.New("payload: carrier out of range")
+		return nil, SyncInfo{}, errors.New("payload: carrier out of range")
 	}
 	return p.demodulate(rx)
 }
@@ -273,9 +340,9 @@ func (p *Payload) DemodulateCarrier(carrier int, rx dsp.Vec) ([]float64, error) 
 // waveform's demodulator. Demodulators reset fully per burst, so any
 // worker may use any pooled instance; concurrent callers never share
 // one because sync.Pool hands an instance to one goroutine at a time.
-func (p *Payload) demodulate(rx dsp.Vec) ([]float64, error) {
+func (p *Payload) demodulate(rx dsp.Vec) ([]float64, SyncInfo, error) {
 	if !p.cs.FunctionHealthy(FuncDemux) || !p.cs.FunctionHealthy(FuncDemod) {
-		return nil, ErrServiceDown
+		return nil, SyncInfo{}, ErrServiceDown
 	}
 	switch p.Mode() {
 	case ModeCDMA:
@@ -283,19 +350,20 @@ func (p *Payload) demodulate(rx dsp.Vec) ([]float64, error) {
 		soft := dem.Demodulate(rx, 64)
 		p.cdmaDemods.Put(dem)
 		if soft == nil {
-			return nil, errors.New("payload: CDMA acquisition failed")
+			return nil, SyncInfo{}, errors.New("payload: CDMA acquisition failed")
 		}
-		return soft, nil
+		return soft, SyncInfo{}, nil
 	case ModeTDMA:
 		dem := p.tdmaDemods.Get().(*modem.BurstDemodulator)
 		res := dem.Demodulate(rx)
 		p.tdmaDemods.Put(dem)
+		info := SyncInfo{Scanned: true, UWMetric: res.UWMetric, FreqEst: res.FreqEst, Timing: res.Timing, Phase: res.Phase}
 		if !res.Found {
-			return nil, errors.New("payload: TDMA burst not found")
+			return nil, info, errors.New("payload: TDMA burst not found")
 		}
-		return res.Soft, nil
+		return res.Soft, info, nil
 	default:
-		return nil, errors.New("payload: no waveform loaded")
+		return nil, SyncInfo{}, errors.New("payload: no waveform loaded")
 	}
 }
 

@@ -33,7 +33,7 @@ func (p *Payload) ProcessFrame(beam int, rx []dsp.Vec) ([][]byte, error) {
 	bits := make([][]byte, len(rx))
 	errs := make([]error, len(rx))
 	pipeline.ForEach(len(rx), func(c int) {
-		soft, err := p.demodulate(rx[c])
+		soft, _, err := p.demodulate(rx[c])
 		if err != nil {
 			errs[c] = fmt.Errorf("carrier %d: %w", c, err)
 			return

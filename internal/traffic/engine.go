@@ -137,6 +137,16 @@ type Engine struct {
 	latSum   int
 	wall     time.Duration
 	termStat []TerminalStats
+	termSync []syncAccum
+}
+
+// syncAccum collects per-terminal burst synchronization statistics from
+// the uplink receipts; Report reduces them to the published stats.
+type syncAccum struct {
+	bursts     int
+	freqAbsSum float64
+	freqAbsMax float64
+	uwMin      float64
 }
 
 // New builds an engine around a booted TDMA payload. The terminal list
@@ -190,6 +200,35 @@ func New(pl *payload.Payload, cfg Config, terminals []Terminal) (*Engine, error)
 		queues:    make([][]qpkt, cfg.Frame.Carriers),
 		grid:      make([][][]byte, cfg.Frame.Carriers),
 		termStat:  make([]TerminalStats, len(terminals)),
+		termSync:  make([]syncAccum, len(terminals)),
+	}
+	// An impaired population needs the full burst synchronization chain:
+	// feedforward CFO recovery before the UW search and residual phase
+	// tracking across the payload. A clean population keeps (or, after a
+	// previous engine's impaired run on the same payload, restores) the
+	// boot default — the legacy UW-phase-only chain — so clean-channel
+	// runs stay bit-identical to engines predating channel profiles. An
+	// explicitly configured payload is left alone; only engine-chosen
+	// defaults (SetSyncConfigAuto) are ever replaced.
+	impaired := false
+	for _, t := range terminals {
+		if t.Channel.Impaired() {
+			impaired = true
+			break
+		}
+	}
+	if !pl.SyncConfigExplicit() {
+		if impaired {
+			// The unique-word threshold is lifted above the legacy 0.6:
+			// the candidate search triples the per-slot UW scans, and a
+			// pure-noise scan's best metric tails past 0.7 often enough
+			// that the legacy threshold would false-lock, while true
+			// locks at the coded-regime Es/N0 stay above 0.82 (see the
+			// modem noise-rejection tests).
+			pl.SetSyncConfigAuto(modem.SyncConfig{UWThreshold: 0.7, FreqRecovery: true, PhaseTrack: true})
+		} else if pl.SyncConfigAuto() {
+			pl.SetSyncConfigAuto(modem.SyncConfig{})
+		}
 	}
 	for i := range e.rngs {
 		e.rngs[i] = rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
@@ -339,6 +378,7 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 		esN0 = e.cfg.EbN0dB + 10*math.Log10(2*codec.Rate())
 	}
 	budget := e.pl.BurstFormat().PayloadBits()
+	const uplinkSPS = 4
 	pipeline.ForEach(len(cells), func(i int) {
 		c := cells[i]
 		asgs[i] = c.asg
@@ -349,8 +389,26 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 		mod := e.mods.Get().(*modem.BurstModulator)
 		wave := mod.Modulate(padded)
 		e.mods.Put(mod)
-		if noisy {
-			ch := dsp.NewChannelWith(e.cfg.Seed+int64(f)*100003+int64(i), esN0, 4)
+		prof := e.terminals[c.term].Channel
+		if noisy || prof != nil {
+			cellEsN0 := esN0
+			if prof != nil && prof.EsN0dB != 0 {
+				cellEsN0 = prof.EsN0dB
+			} else if !noisy {
+				cellEsN0 = 300 // effectively noiseless
+			}
+			ch := dsp.NewChannelWith(e.cfg.Seed+int64(f)*100003+int64(i), cellEsN0, uplinkSPS)
+			if prof != nil {
+				// Frequency figures are per symbol and the channel works
+				// per sample, so CFO/Drift divide by the oversampling;
+				// Timing is already a sample offset and passes through.
+				ch.FreqOffset = (prof.CFO + prof.Drift*float64(f)) / uplinkSPS
+				ch.PhaseOffset = prof.Phase
+				ch.TimingOffset = prof.Timing
+				if prof.Gain != 0 {
+					ch.Gain = prof.Gain
+				}
+			}
 			wave = ch.Apply(wave)
 		}
 		fc.PlaceBurst(c.asg, wave)
@@ -365,6 +423,21 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 	k := len(cells[0].info)
 	for i, r := range receipts {
 		e.met.UplinkBursts++
+		// Only receipts whose demodulation actually ran carry sync
+		// diagnostics; a burst lost to a service outage would otherwise
+		// pin the terminal's worst-UW stat to zero.
+		if r.Sync.Scanned {
+			sa := &e.termSync[cells[i].term]
+			sa.bursts++
+			af := math.Abs(r.Sync.FreqEst)
+			sa.freqAbsSum += af
+			if af > sa.freqAbsMax {
+				sa.freqAbsMax = af
+			}
+			if sa.bursts == 1 || r.Sync.UWMetric < sa.uwMin {
+				sa.uwMin = r.Sync.UWMetric
+			}
+		}
 		if r.Err != nil {
 			e.met.UplinkFailures++
 			continue
@@ -497,5 +570,15 @@ func (e *Engine) Report() *Report {
 	}
 	r.QueueHighWater = append([]int{}, e.met.QueueHighWater...)
 	r.PerTerminal = append([]TerminalStats{}, e.termStat...)
+	for i := range r.PerTerminal {
+		sa := e.termSync[i]
+		ts := &r.PerTerminal[i]
+		ts.SyncBursts = sa.bursts
+		if sa.bursts > 0 {
+			ts.MeanAbsCFO = sa.freqAbsSum / float64(sa.bursts)
+			ts.MaxAbsCFO = sa.freqAbsMax
+			ts.MinUWMetric = sa.uwMin
+		}
+	}
 	return &r
 }

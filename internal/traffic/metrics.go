@@ -15,6 +15,15 @@ type TerminalStats struct {
 	GrantedCells  int
 	UplinkBits    int // info bits decoded on the uplink
 	DeliveredBits int // info bits transmitted on the downlink
+
+	// Burst synchronization stats from the payload's receive chain,
+	// aggregated over the terminal's uplink bursts. CFO figures are the
+	// feedforward frequency estimates in cycles/symbol; they stay zero
+	// when the legacy (clean-channel) sync chain is active.
+	SyncBursts  int     // bursts contributing to the sync stats
+	MeanAbsCFO  float64 // mean |CFO estimate| (cycles/symbol)
+	MaxAbsCFO   float64 // max |CFO estimate| (cycles/symbol)
+	MinUWMetric float64 // worst unique-word correlation seen
 }
 
 // Report is the metrics layer of one engine run. Model-time figures use
@@ -108,8 +117,13 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "verify: %d bursts lost on ground demod, %d bit errors\n", r.DownlinkLost, r.DownlinkBitErrs)
 	}
 	for _, ts := range r.PerTerminal {
-		fmt.Fprintf(&b, "  %-10s %-14s offered %4d granted %4d uplink %6d bits delivered %6d bits\n",
+		fmt.Fprintf(&b, "  %-10s %-14s offered %4d granted %4d uplink %6d bits delivered %6d bits",
 			ts.ID, ts.Model, ts.OfferedCells, ts.GrantedCells, ts.UplinkBits, ts.DeliveredBits)
+		if ts.SyncBursts > 0 && (ts.MeanAbsCFO != 0 || ts.MaxAbsCFO != 0) {
+			fmt.Fprintf(&b, " cfo %+.4f/%.4f c/sym uw>=%.2f",
+				ts.MeanAbsCFO, ts.MaxAbsCFO, ts.MinUWMetric)
+		}
+		fmt.Fprintln(&b)
 	}
 	return b.String()
 }

@@ -74,10 +74,44 @@ func (m Hotspot) Demand(frame int) int {
 	return m.Base
 }
 
-// Terminal is one user terminal of the population: a traffic model plus
-// the downlink beam its packets are switched to.
+// ChannelProfile is the per-terminal uplink impairment set applied
+// during burst synthesis: real terminals hit the payload with a carrier
+// frequency/phase offset, timing skew and gain of their own, which is
+// exactly why the demodulator bank carries a burst synchronization
+// chain. All fields are deterministic per terminal, so runs remain pure
+// functions of (config, population, seed); only the AWGN draws on the
+// per-(frame, cell) seeded channel RNG.
+type ChannelProfile struct {
+	// CFO is the carrier frequency offset in cycles/symbol. The burst
+	// chain's feedforward estimator is unambiguous within ±1/8
+	// cycle/symbol; the engine's documented acquisition range is ±1/10.
+	CFO float64
+	// Drift is a Doppler ramp in cycles/symbol per frame, added to CFO
+	// frame after frame.
+	Drift float64
+	// Phase is the carrier phase offset in radians, anywhere in (−π, π].
+	Phase float64
+	// Timing is the fractional-sample timing offset in [0, 1).
+	Timing float64
+	// Gain scales the burst amplitude; 0 means unity.
+	Gain float64
+	// EsN0dB overrides the engine-wide uplink SNR for this terminal;
+	// 0 keeps the engine default (Config.EbN0dB converted per codec).
+	EsN0dB float64
+}
+
+// Impaired reports whether the profile perturbs the signal at all
+// (an SNR override alone does not need the sync chain).
+func (p *ChannelProfile) Impaired() bool {
+	return p != nil && (p.CFO != 0 || p.Drift != 0 || p.Phase != 0 || p.Timing != 0 || (p.Gain != 0 && p.Gain != 1))
+}
+
+// Terminal is one user terminal of the population: a traffic model, the
+// downlink beam its packets are switched to, and an optional uplink
+// channel profile (nil = ideal channel, engine-wide AWGN only).
 type Terminal struct {
-	ID    string
-	Beam  int
-	Model Model
+	ID      string
+	Beam    int
+	Model   Model
+	Channel *ChannelProfile
 }

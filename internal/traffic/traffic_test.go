@@ -1,9 +1,12 @@
 package traffic
 
 import (
+	"math"
 	"reflect"
 	"testing"
 
+	"repro/internal/dsp"
+	"repro/internal/frontend"
 	"repro/internal/modem"
 	"repro/internal/payload"
 )
@@ -159,6 +162,182 @@ func TestEngineClosedLoopBitExact(t *testing.T) {
 	for _, ts := range r.PerTerminal {
 		if ts.DeliveredBits == 0 {
 			t.Fatalf("terminal %s starved", ts.ID)
+		}
+	}
+}
+
+// The closed loop must survive per-terminal channel impairments across
+// the documented acquisition range: CFO up to ±1/10 cycle/symbol,
+// fractional timing offsets in [0, 1), phase offsets across (−π, π] and
+// gain imbalance, at Eb/N0 >= 6 dB — zero info-bit errors end to end.
+func TestEngineImpairedClosedLoopBitExact(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Frame = smallFrame(2, 2)
+	cfg.Verify = true
+	cfg.EbN0dB = 6
+	cfg.Seed = 9
+	terms := []Terminal{
+		{ID: "t0", Beam: 0, Model: CBR{Cells: 1},
+			Channel: &ChannelProfile{CFO: 0.1, Phase: math.Pi, Timing: 0.5, Gain: 0.9}},
+		{ID: "t1", Beam: 1, Model: CBR{Cells: 1},
+			Channel: &ChannelProfile{CFO: -0.1, Phase: -3.0, Timing: 0.9, Gain: 1.1}},
+		{ID: "t2", Beam: 0, Model: CBR{Cells: 1},
+			Channel: &ChannelProfile{CFO: 0.05, Drift: 0.002, Phase: 1.3, Timing: 0.25}},
+	}
+	e := newEngine(t, cfg, terms, "conv-r1/2-k9")
+	if e.pl.SyncConfig() == (modem.SyncConfig{}) {
+		t.Fatal("impaired population must enable the sync chain")
+	}
+	if err := e.RunFrames(10); err != nil {
+		t.Fatal(err)
+	}
+	r := e.Report()
+	if r.UplinkFailures != 0 || r.UplinkBitErrs != 0 {
+		t.Fatalf("uplink not clean under impairments: %d failures, %d bit errors", r.UplinkFailures, r.UplinkBitErrs)
+	}
+	if r.DownlinkLost != 0 || r.DownlinkBitErrs != 0 {
+		t.Fatalf("downlink not clean: %d lost, %d bit errors", r.DownlinkLost, r.DownlinkBitErrs)
+	}
+	// The sync stats must reflect the injected CFOs; the drifting
+	// terminal's expectation averages its Doppler ramp over the run.
+	for i, ts := range r.PerTerminal {
+		prof := terms[i].Channel
+		want := 0.0
+		for f := 0; f < 10; f++ {
+			want += math.Abs(prof.CFO + prof.Drift*float64(f))
+		}
+		want /= 10
+		if ts.SyncBursts == 0 {
+			t.Fatalf("terminal %s has no sync stats", ts.ID)
+		}
+		if math.Abs(ts.MeanAbsCFO-want) > 0.01 {
+			t.Fatalf("terminal %s mean |CFO| estimate %.4f, injected %.4f", ts.ID, ts.MeanAbsCFO, want)
+		}
+	}
+}
+
+// A clean population must keep the payload on the legacy UW-phase-only
+// chain — the frequency estimator stays dead code, every receipt reports
+// a zero CFO estimate, and the run is bit-identical to engines predating
+// channel profiles (same demod math, same channel synthesis path).
+func TestEngineCleanChannelSyncInert(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Frame = smallFrame(2, 2)
+	cfg.Verify = true
+	cfg.EbN0dB = 8
+	cfg.Seed = 3
+	terms := []Terminal{
+		{ID: "a", Beam: 0, Model: CBR{Cells: 1}},
+		{ID: "b", Beam: 1, Model: CBR{Cells: 1}},
+	}
+	e := newEngine(t, cfg, terms, "conv-r1/2-k9")
+	if e.pl.SyncConfig() != (modem.SyncConfig{}) {
+		t.Fatal("clean population must keep the boot sync config")
+	}
+	if err := e.RunFrames(6); err != nil {
+		t.Fatal(err)
+	}
+	for _, ts := range e.Report().PerTerminal {
+		if ts.MeanAbsCFO != 0 || ts.MaxAbsCFO != 0 {
+			t.Fatalf("terminal %s reports CFO estimates on a clean channel: %+v", ts.ID, ts)
+		}
+		if ts.SyncBursts == 0 || ts.MinUWMetric <= modem.DefaultUWThreshold {
+			t.Fatalf("terminal %s sync stats implausible: %+v", ts.ID, ts)
+		}
+	}
+}
+
+// One engine's auto-enabled sync chain must not leak into the next
+// engine sharing the payload: an impaired run flips the payload onto
+// the full chain, and a subsequent clean-population engine restores the
+// legacy chain — while an explicit SetSyncConfig survives both.
+func TestSyncConfigDoesNotLeakAcrossEngines(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Frame = smallFrame(2, 2)
+	pl := bootPayload(t, 2, "conv-r1/2-k9")
+	impaired := []Terminal{{ID: "a", Beam: 0, Model: CBR{Cells: 1},
+		Channel: &ChannelProfile{CFO: 0.05, Phase: 1.0}}}
+	clean := []Terminal{{ID: "a", Beam: 0, Model: CBR{Cells: 1}}}
+
+	if _, err := New(pl, cfg, impaired); err != nil {
+		t.Fatal(err)
+	}
+	if pl.SyncConfig() == (modem.SyncConfig{}) || !pl.SyncConfigAuto() {
+		t.Fatal("impaired engine must auto-enable the sync chain")
+	}
+	if _, err := New(pl, cfg, clean); err != nil {
+		t.Fatal(err)
+	}
+	if pl.SyncConfig() != (modem.SyncConfig{}) {
+		t.Fatalf("clean engine kept the previous engine's sync chain: %+v", pl.SyncConfig())
+	}
+
+	explicit := modem.SyncConfig{UWThreshold: 0.8, FreqRecovery: true}
+	pl.SetSyncConfig(explicit)
+	if _, err := New(pl, cfg, impaired); err != nil {
+		t.Fatal(err)
+	}
+	if pl.SyncConfig() != explicit {
+		t.Fatal("impaired engine overrode an explicit sync config")
+	}
+	if _, err := New(pl, cfg, clean); err != nil {
+		t.Fatal(err)
+	}
+	if pl.SyncConfig() != explicit {
+		t.Fatal("clean engine overrode an explicit sync config")
+	}
+
+	// An explicit zero config pins the legacy chain on purpose — it
+	// must be just as sticky as any other explicit value.
+	pl.SetSyncConfig(modem.SyncConfig{})
+	if _, err := New(pl, cfg, impaired); err != nil {
+		t.Fatal(err)
+	}
+	if pl.SyncConfig() != (modem.SyncConfig{}) || pl.SyncConfigAuto() {
+		t.Fatalf("impaired engine overrode an explicitly pinned legacy chain: %+v", pl.SyncConfig())
+	}
+}
+
+// An all-idle downlink frame is legal silence: the channel must not
+// substitute full-power noise for it (the old p==1 fallback), and a
+// ground receiver scanning every (carrier, slot) cell must not declare
+// a single burst.
+func TestAllIdleFrameNoSpuriousBursts(t *testing.T) {
+	pl := bootPayload(t, 2, "uncoded")
+	fcfg := smallFrame(2, 2)
+	plan := DefaultPlan(fcfg.Carriers)
+	tx := payload.NewTransmitter(pl, plan)
+	grid := make([][][]byte, fcfg.Carriers)
+	for c := range grid {
+		grid[c] = make([][]byte, fcfg.Slots)
+	}
+	wide, err := tx.TransmitFrameGrid(fcfg, grid)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The space-ground channel still runs at a finite Es/N0; silence in
+	// must stay silence out.
+	ch := dsp.NewChannelWith(5, 10, plan.Decim)
+	rx := ch.Apply(wide)
+	for _, v := range rx {
+		if v != 0 {
+			t.Fatal("silent frame picked up noise from the zero-power fallback")
+		}
+	}
+	demux := frontend.NewDemux(plan, 95)
+	split := demux.Process(rx)
+	dem := modem.NewBurstDemodulator(pl.BurstFormat(), 0.35, plan.Decim, 10, modem.TimingOerderMeyr)
+	slotLen := fcfg.SlotSymbols * plan.Decim
+	for c := 0; c < fcfg.Carriers; c++ {
+		for s := 0; s < fcfg.Slots; s++ {
+			end := (s + 1) * slotLen
+			if end > len(split[c]) {
+				end = len(split[c])
+			}
+			res := dem.Demodulate(split[c][s*slotLen : end])
+			if res.Found {
+				t.Fatalf("spurious burst detected at carrier %d slot %d (uw %.2f)", c, s, res.UWMetric)
+			}
 		}
 	}
 }
