@@ -18,6 +18,7 @@ import (
 	"repro/internal/gates"
 	"repro/internal/modem"
 	"repro/internal/payload"
+	"repro/internal/scenario"
 	"repro/internal/traffic"
 )
 
@@ -364,6 +365,47 @@ func BenchmarkTrafficEngineImpaired(b *testing.B) {
 	}
 }
 
+// BenchmarkScenarioSession prices the declarative runtime on the
+// registered preset populations: one closed-loop frame driven through
+// scenario.Session.Step (event scheduling, metric deltas, observer-free
+// path) on the clean and impaired presets. The deltas to the raw
+// BenchmarkTrafficEngine/Impaired figures price the session layer; the
+// clean/impaired delta prices the sync chain, as before.
+func BenchmarkScenarioSession(b *testing.B) {
+	for _, name := range []string{"clean", "impaired"} {
+		b.Run(name, func(b *testing.B) {
+			spec, err := scenario.Preset(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			// Free-run via Step: drop the drifting terminal's ramp so the
+			// CFO stays put at any -benchtime (the bench must be
+			// b.N-independent), and skip ground verification — the raw
+			// engine benches it separately.
+			for i := range spec.Terminals {
+				if c := spec.Terminals[i].Channel; c != nil {
+					c.Drift = 0
+				}
+			}
+			sess, err := scenario.NewSession(spec, scenario.WithVerification(false))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := sess.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			if rep := sess.Report(); rep.UplinkFailures != 0 || rep.UplinkBitErrs != 0 {
+				b.Fatalf("loop not clean: %d misses, %d bit errors", rep.UplinkFailures, rep.UplinkBitErrs)
+			}
+		})
+	}
+}
+
 // BenchmarkE10_FramePipeline regenerates the E10 latency/speedup table
 // at reduced size.
 func BenchmarkE10_FramePipeline(b *testing.B) {
@@ -373,7 +415,7 @@ func BenchmarkE10_FramePipeline(b *testing.B) {
 	}
 }
 
-// Ablation benches for the design choices called out in DESIGN.md §5.
+// Ablation benches for the design choices called out in DESIGN.md §7.
 
 func BenchmarkAblation_TimingRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {

@@ -1,36 +1,43 @@
 // Command trafficsim runs sustained MF-TDMA load through the full
-// regenerative loop: a deterministic terminal population issues DAMA
-// capacity requests each frame, granted bursts are demodulated, decoded
-// and switched on board, and the per-beam downlink queues drain into the
-// concurrent transmit pipeline. The run report covers throughput,
-// latency, queue depths and losses; -verify additionally demodulates the
-// transmitted downlink on a ground receiver and checks every bit.
+// regenerative loop, driven by the declarative scenario runtime: a
+// scenario spec (from -scenario file.json, a -preset name, or built
+// from the flags) describes the system, the traffic shape, the terminal
+// population with optional per-terminal channel impairments, and a
+// frame-indexed event script (decoder swaps, waveform migrations, fade
+// ramps, joins/leaves, queue changes) executed at frame boundaries
+// through the live control plane. The run report covers throughput,
+// latency, queue depths and losses; -verify additionally demodulates
+// the transmitted downlink on a ground receiver and checks every bit.
 //
-// Channel impairment flags attach a deterministic per-terminal
-// ChannelProfile (CFO spread with the extremes pinned at ±cfo, timing
-// offsets across [0, 1), phases across (-pi, pi], an optional Doppler
-// ramp), which switches the payload onto the full burst synchronization
-// chain; the report then includes per-terminal sync stats.
+// When a spec or preset is given, explicitly set flags are layered onto
+// it as overrides (e.g. -preset swap-under-load -frames 20 truncates
+// the run; population flags rebuild the terminal set).
 //
 // Usage:
 //
+//	trafficsim -list-presets
+//	trafficsim -preset swap-under-load
+//	trafficsim -scenario mission.json -frames 50
 //	trafficsim -frames 100 -carriers 3 -slots 4 -codec conv-r1/2-k9 -verify
 //	trafficsim -frames 40 -ebn0 6 -cfo 0.1 -timing-spread -phase-spread -verify
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"math"
 
 	"repro/internal/core"
-	"repro/internal/modem"
-	"repro/internal/payload"
+	"repro/internal/scenario"
 	"repro/internal/traffic"
 )
 
 func main() {
+	scenarioFile := flag.String("scenario", "", "run a scenario spec from a JSON file")
+	preset := flag.String("preset", "", "run a registered preset scenario")
+	listPresets := flag.Bool("list-presets", false, "list registered presets and exit")
+	events := flag.Bool("events", true, "log scripted events as they fire")
 	frames := flag.Int("frames", 100, "frames to run")
 	carriers := flag.Int("carriers", 3, "MF-TDMA carriers (= downlink beams)")
 	slots := flag.Int("slots", 4, "slots per carrier per frame")
@@ -50,113 +57,143 @@ func main() {
 	phaseSpread := flag.Bool("phase-spread", false, "spread per-terminal carrier phase offsets across (-pi, pi]")
 	flag.Parse()
 
-	sys, err := core.NewSystem(core.DefaultSystemConfig())
+	if *listPresets {
+		for _, n := range scenario.PresetNames() {
+			fmt.Println(n)
+		}
+		return
+	}
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	spec, err := resolveSpec(*scenarioFile, *preset)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fromFlags := *scenarioFile == "" && *preset == ""
+
+	// Layer explicitly set flags (all of them, when no spec/preset was
+	// given) onto the resolved spec.
+	use := func(name string) bool { return fromFlags || set[name] }
+	if use("frames") {
+		spec.Frames = *frames
+	}
+	if use("carriers") {
+		spec.Traffic.Carriers = *carriers
+		spec.System.Carriers = 0 // follow the frame
+	}
+	if use("slots") {
+		spec.Traffic.Slots = *slots
+	}
+	if use("slot-symbols") {
+		spec.Traffic.SlotSymbols = *slotSymbols
+	}
+	if use("codec") {
+		spec.System.Codec = *codec
+	}
+	if use("queue") {
+		spec.Traffic.QueueDepth = *queue
+	}
+	if use("policy") {
+		spec.Traffic.Policy = *policy
+	}
+	if use("ebn0") {
+		spec.Traffic.EbN0dB = *ebn0
+	}
+	if use("verify") {
+		spec.Traffic.Verify = *verify
+	}
+	if use("seed") {
+		spec.Traffic.Seed = *seed
+	}
+	// Population flags rebuild the terminal set; a bare -carriers
+	// override keeps a preset's population (and its impairments) and
+	// just remaps beams into the new downlink range. Impairment flags
+	// re-sweep profiles over whatever population results.
+	if fromFlags || set["model"] || set["terminals"] || set["cells"] {
+		terms, err := scenario.PopulationSpec(*model, *terminals, *cells, spec.Traffic.Carriers)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec.Terminals = terms
+	} else if set["carriers"] {
+		for i := range spec.Terminals {
+			spec.Terminals[i].Beam %= spec.Traffic.Carriers
+		}
+		for i := range spec.Events {
+			if j := spec.Events[i].Join; j != nil {
+				j.Beam %= spec.Traffic.Carriers
+			}
+		}
+	}
+	if fromFlags || set["cfo"] || set["drift"] || set["timing-spread"] || set["phase-spread"] {
+		scenario.ImpairSpec(spec.Terminals, *cfoMax, *drift, *timingSpread, *phaseSpread)
+	}
+	// A truncated run must not strand scripted events past the horizon
+	// in the banner; they simply never fire.
+	if err := spec.Validate(); err != nil {
+		log.Fatal(err)
+	}
+
+	sysCfg := core.DefaultSystemConfig()
+	if n := spec.System.Carriers; n > 0 {
+		sysCfg.Payload.Carriers = n
+	} else if spec.Traffic.Carriers > sysCfg.Payload.Carriers {
+		sysCfg.Payload.Carriers = spec.Traffic.Carriers
+	}
+	if n := spec.System.PayloadSymbols; n > 0 {
+		sysCfg.Payload.TDMAPayloadSymbols = n
+	}
+	sys, err := core.NewSystem(sysCfg)
 	if err != nil {
 		log.Fatal(err)
 	}
 	sys.RunUntil(2)
-	if *carriers > sys.Payload.Config().Carriers {
-		log.Fatalf("payload serves %d carriers", sys.Payload.Config().Carriers)
-	}
-	if err := sys.Payload.SetWaveform(payload.ModeTDMA); err != nil {
-		log.Fatal(err)
-	}
-	if err := sys.Payload.SetCodec(*codec); err != nil {
-		log.Fatal(err)
-	}
 
-	cfg := traffic.DefaultConfig()
-	cfg.Frame = modem.FrameConfig{Carriers: *carriers, Slots: *slots, SlotSymbols: *slotSymbols, GuardSymbols: 16}
-	cfg.QueueDepth = *queue
-	cfg.EbN0dB = *ebn0
-	cfg.Verify = *verify
-	cfg.Seed = *seed
-	switch *policy {
-	case "drop-tail":
-		cfg.Policy = traffic.DropTail
-	case "backpressure":
-		cfg.Policy = traffic.Backpressure
-	default:
-		log.Fatalf("unknown policy %q", *policy)
+	var opts []scenario.Option
+	if *events {
+		opts = append(opts, scenario.WithObserver(func(st scenario.FrameStats, _ func() *traffic.Report) {
+			for _, rec := range st.Events {
+				fmt.Println("event:", rec)
+			}
+		}))
 	}
-
-	terms, err := population(*model, *terminals, *cells, *carriers)
+	sess, err := sys.NewSession(spec, opts...)
 	if err != nil {
 		log.Fatal(err)
 	}
-	impair(terms, *cfoMax, *drift, *timingSpread, *phaseSpread)
 
-	fmt.Printf("trafficsim: %d frames, %dx%d grid, codec=%s, %d terminals (%s), queue=%d (%s), Eb/N0=%.1f dB\n",
-		*frames, *carriers, *slots, *codec, len(terms), *model, *queue, cfg.Policy, *ebn0)
-	if *cfoMax != 0 || *drift != 0 || *timingSpread || *phaseSpread {
-		fmt.Printf("impairments: CFO ±%.3f c/sym, drift %.4f c/sym/frame, timing spread %v, phase spread %v\n",
-			*cfoMax, *drift, *timingSpread, *phaseSpread)
+	name := spec.Name
+	if name == "" {
+		name = "ad hoc"
 	}
-	rep, err := sys.RunTraffic(core.TrafficScenario{Config: cfg, Terminals: terms, Frames: *frames})
+	fmt.Printf("trafficsim: scenario %q, %d frames, %dx%d grid, codec=%s, %d terminals, queue=%d (%s), Eb/N0=%.1f dB, %d scripted events\n",
+		name, spec.Frames, spec.Traffic.Carriers, spec.Traffic.Slots, spec.System.Codec,
+		len(spec.Terminals), spec.Traffic.QueueDepth, spec.Traffic.Policy, spec.Traffic.EbN0dB, len(spec.Events))
+
+	rep, err := sess.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(rep)
 }
 
-// population builds the deterministic terminal set, beams round-robin
-// over the downlink carriers.
-func population(model string, n, cells, beams int) ([]traffic.Terminal, error) {
-	if n < 1 {
-		return nil, fmt.Errorf("need at least one terminal")
-	}
-	out := make([]traffic.Terminal, n)
-	for i := range out {
-		var m traffic.Model
-		switch model {
-		case "cbr":
-			m = traffic.CBR{Cells: cells}
-		case "onoff":
-			m = traffic.OnOff{On: 3, Off: 2, Cells: cells + 1, Phase: i}
-		case "hotspot":
-			m = traffic.Hotspot{Base: cells, Surge: 3 * cells, Period: 8, Width: 2}
-		case "mix":
-			switch i % 3 {
-			case 0:
-				m = traffic.CBR{Cells: cells}
-			case 1:
-				m = traffic.OnOff{On: 3, Off: 2, Cells: cells + 1, Phase: i}
-			default:
-				m = traffic.Hotspot{Base: cells, Surge: 3 * cells, Period: 8, Width: 2}
-			}
-		default:
-			return nil, fmt.Errorf("unknown model %q", model)
+// resolveSpec picks the base spec: a file, a preset, or the flag-built
+// default shape (filled in by the override layer above).
+func resolveSpec(file, preset string) (scenario.Spec, error) {
+	switch {
+	case file != "" && preset != "":
+		return scenario.Spec{}, fmt.Errorf("use -scenario or -preset, not both")
+	case file != "":
+		return scenario.LoadFile(file)
+	case preset != "":
+		return scenario.Preset(preset)
+	default:
+		sp := scenario.Spec{
+			Name:    "flags",
+			Traffic: scenario.TrafficSpec{GuardSymbols: 16},
 		}
-		out[i] = traffic.Terminal{ID: fmt.Sprintf("t%d", i), Beam: i % beams, Model: m}
-	}
-	return out, nil
-}
-
-// impair attaches deterministic channel profiles sweeping the requested
-// impairments across the population: CFOs spread over ±cfoMax with the
-// extremes pinned, timing offsets over [0, 1), phases over (-pi, pi],
-// and the Doppler ramp on the last terminal. No flags set leaves the
-// population on the ideal channel (and the payload on the legacy sync
-// chain).
-func impair(terms []traffic.Terminal, cfoMax, drift float64, timingSpread, phaseSpread bool) {
-	if cfoMax == 0 && drift == 0 && !timingSpread && !phaseSpread {
-		return
-	}
-	n := len(terms)
-	for i := range terms {
-		p := &traffic.ChannelProfile{CFO: cfoMax}
-		if n > 1 {
-			p.CFO = cfoMax * (2*float64(i)/float64(n-1) - 1)
-		}
-		if timingSpread {
-			p.Timing = float64(i) / float64(n)
-		}
-		if phaseSpread {
-			p.Phase = 2*math.Pi*float64(i+1)/float64(n) - math.Pi
-		}
-		if i == n-1 {
-			p.Drift = drift
-		}
-		terms[i].Channel = p
+		return sp, nil
 	}
 }

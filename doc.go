@@ -6,10 +6,13 @@
 // from a ground network control center over a TC/TM + IP + TFTP/SCPS-FP/
 // COPS protocol stack, under a radiation environment with SEU mitigation.
 //
-// See DESIGN.md for the system inventory, the per-experiment index and
-// the architecture of the concurrent per-carrier receive and transmit
-// pipelines plus the sustained-load traffic engine. The root-level
-// benchmarks (bench_test.go) regenerate every table and figure; the
-// same code is runnable via cmd/experiments, and cmd/benchjson writes
-// the pipeline/traffic numbers to BENCH_PR2.json for perf tracking.
+// See DESIGN.md for the system inventory, the per-experiment index, the
+// architecture of the concurrent per-carrier receive and transmit
+// pipelines plus the sustained-load traffic engine, and the declarative
+// scenario runtime (specs, presets, sessions and scripted events) that
+// drives missions over the closed loop. The root-level benchmarks
+// (bench_test.go) regenerate every table and figure; the same code is
+// runnable via cmd/experiments, scripted runs via cmd/trafficsim
+// (-scenario/-preset), and cmd/benchjson writes the pipeline/traffic/
+// scenario numbers to BENCH_PR4.json for perf tracking.
 package repro

@@ -1,70 +1,68 @@
-// Quickstart: boot a regenerative payload, load a waveform and a decoder
-// onto its FPGAs, pass one user packet through the full receive chain
-// (demodulate, decode, switch), then swap the decoder — the paper's
+// Quickstart: run a complete scripted mission through the declarative
+// scenario runtime — boot a regenerative TDMA payload from a preset
+// spec, stream sustained DAMA-scheduled traffic through the closed
+// loop (demodulate, decode, switch, re-encode, remodulate, ground
+// verify) with a live per-frame observer, and watch the §2.3 decoder
+// reconfiguration fire as a scripted mid-run event — the paper's
 // software-radio concept in ~60 lines.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
-	"math"
-	"math/rand"
 
-	"repro/internal/dsp"
-	"repro/internal/fec"
-	"repro/internal/modem"
-	"repro/internal/payload"
+	"repro/internal/scenario"
+	"repro/internal/traffic"
 )
 
 func main() {
-	// 1. Boot the payload: one FPGA per equipment (Fig 2).
-	pl, err := payload.New(payload.DefaultConfig())
+	// 1. A scenario is data: start from the swap-under-load preset
+	//    (sustained mixed traffic with a conv -> turbo decoder swap
+	//    scripted at the halfway frame) and trim it for a quick demo.
+	//    The same spec round-trips through JSON — write it to a file,
+	//    edit it, and feed it to `trafficsim -scenario file.json`.
+	spec, err := scenario.Preset("swap-under-load")
 	if err != nil {
 		log.Fatal(err)
 	}
-	if err := pl.SetWaveform(payload.ModeTDMA); err != nil {
+	spec.Frames = 24
+	spec.Events[0].Frame = 12
+	if err := spec.Validate(); err != nil {
 		log.Fatal(err)
 	}
-	if err := pl.SetCodec("conv-r1/2-k9"); err != nil {
-		log.Fatal(err)
-	}
-	codec, _ := pl.Codec()
-	fmt.Printf("payload up: waveform=%s, decoder=%s\n", pl.Mode(), codec.Name())
+	fmt.Printf("scenario %q: %d frames, %d terminals, %d scripted event(s)\n",
+		spec.Name, spec.Frames, len(spec.Terminals), len(spec.Events))
 
-	// 2. A user terminal transmits one convolutional-coded TDMA burst.
-	f := pl.BurstFormat()
-	rng := rand.New(rand.NewSource(7))
-	info := make([]byte, 100)
-	for i := range info {
-		info[i] = byte(rng.Intn(2))
-	}
-	coded := codec.Encode(info)
-	burst := make([]byte, f.PayloadBits())
-	copy(burst, coded)
-	tx := modem.NewBurstModulator(f, 0.35, 4, 10).Modulate(burst)
-
-	// 3. The channel adds noise at Eb/N0 = 4 dB.
-	ch := dsp.NewChannelWith(1, 4+10*math.Log10(2*codec.Rate()), 4)
-	rx := ch.Apply(tx)
-
-	// 4. The payload regenerates the packet on board.
-	soft, err := pl.DemodulateCarrier(0, rx)
+	// 2. A session executes it. Without an attached control plane the
+	//    swap reconfigures the payload directly; build the session via
+	//    core.System.NewSession instead to run the full ground procedure
+	//    (upload, COPS policy push, five-step reload).
+	sess, err := scenario.NewSession(spec,
+		scenario.WithObserver(func(st scenario.FrameStats, report func() *traffic.Report) {
+			for _, ev := range st.Events {
+				fmt.Println("  >>", ev)
+			}
+			if st.Frame%6 == 0 {
+				rep := report()
+				fmt.Printf("  frame %2d: %d cells granted, %d packets down, %d bit errors so far\n",
+					st.Frame, st.GrantedCells, st.DeliveredPackets, rep.UplinkBitErrs+rep.DownlinkBitErrs)
+			}
+		}))
 	if err != nil {
 		log.Fatal(err)
 	}
-	dec, err := pl.Decode(soft[:codec.EncodedLen(len(info))])
+
+	// 3. Run to the scripted end (a context cancels cleanly at a frame
+	//    boundary — useful when a mission is a service, not a batch).
+	rep, err := sess.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
-	errs := fec.CountBitErrors(info, dec[:len(info)])
-	pl.Switch().Route(2, fec.PackBits(dec[:len(info)]))
-	fmt.Printf("packet regenerated: %d bit errors, routed to beam 2 (queue depth %d)\n",
-		errs, pl.Switch().QueueDepth(2))
 
-	// 5. Reconfigure the decoder in place (§2.3: traffic mix changed).
-	if err := pl.SetCodec("turbo-r1/3"); err != nil {
-		log.Fatal(err)
-	}
-	codec, _ = pl.Codec()
-	fmt.Printf("decoder reconfigured: now %s on the same hardware slot\n", codec.Name())
+	// 4. The loopback contract across the reconfiguration: every
+	//    delivered packet bit-identical, decoder hot-swapped under load.
+	codec, _ := sess.Payload().Codec()
+	fmt.Printf("\ndecoder now %s on the same hardware slot; %d packets delivered, %d bit errors end to end\n",
+		codec.Name(), rep.DeliveredPackets, rep.UplinkBitErrs+rep.DownlinkBitErrs)
 }

@@ -8,8 +8,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/frontend"
 	"repro/internal/modem"
-	"repro/internal/ncc"
 	"repro/internal/payload"
+	"repro/internal/scenario"
 	"repro/internal/traffic"
 )
 
@@ -19,7 +19,10 @@ import (
 // through the closed regenerative loop (demodulate - decode - switch -
 // re-encode - remodulate - ground demodulate), and halfway through the
 // run the ground performs the §2.3 decoder reconfiguration while the
-// queues hold the traffic. Correctness is the loopback contract: at high
+// queues hold the traffic. Since the scenario layer landed, the whole
+// run is a declarative script — a swap-under-load spec with one
+// scheduled SwapDecoder event, executed through the live control plane
+// by a scenario.Session. Correctness is the loopback contract: at high
 // SNR every delivered packet must be bit-identical to what the terminal
 // sent, frame after frame, across the codec swap.
 
@@ -63,6 +66,33 @@ type E11Result struct {
 	SwapOK bool
 }
 
+// E11Spec is the experiment as a declarative scenario: the mixed study
+// population on the configured grid with one SwapDecoder event fired at
+// the halfway frame.
+func E11Spec(cfg E11Config) scenario.Spec {
+	return scenario.Spec{
+		Name:        "e11",
+		Description: "sustained mixed traffic across a mid-run decoder swap",
+		Frames:      cfg.Frames,
+		System:      scenario.SystemSpec{Carriers: cfg.Frame.Carriers, Codec: cfg.CodecA},
+		Traffic: scenario.TrafficSpec{
+			Carriers:     cfg.Frame.Carriers,
+			Slots:        cfg.Frame.Slots,
+			SlotSymbols:  cfg.Frame.SlotSymbols,
+			GuardSymbols: cfg.Frame.GuardSymbols,
+			QueueDepth:   cfg.QueueDepth,
+			Policy:       "drop-tail",
+			EbN0dB:       cfg.EbN0dB,
+			Verify:       true,
+			Seed:         cfg.Seed,
+		},
+		Terminals: scenario.MixedPopulationSpec(cfg.Frame.Carriers),
+		Events: []scenario.Event{
+			{Frame: cfg.Frames / 2, Action: scenario.ActionSwapDecoder, Codec: cfg.CodecB},
+		},
+	}
+}
+
 // E11Traffic runs the sustained-load experiment.
 func E11Traffic(cfg E11Config) *E11Result {
 	sysCfg := core.DefaultSystemConfig()
@@ -72,41 +102,41 @@ func E11Traffic(cfg E11Config) *E11Result {
 		panic(err)
 	}
 	sys.RunUntil(2)
-	if err := sys.Payload.SetWaveform(payload.ModeTDMA); err != nil {
-		panic(err)
-	}
-	if err := sys.Payload.SetCodec(cfg.CodecA); err != nil {
-		panic(err)
-	}
 
-	tcfg := traffic.DefaultConfig()
-	tcfg.Frame = cfg.Frame
-	tcfg.QueueDepth = cfg.QueueDepth
-	tcfg.EbN0dB = cfg.EbN0dB
-	tcfg.Verify = true
-	tcfg.Seed = cfg.Seed
-	terms := e11Population(cfg.Frame.Carriers)
-	eng, err := sys.NewTrafficEngine(core.TrafficScenario{Config: tcfg, Terminals: terms})
+	spec := E11Spec(cfg)
+	sess, err := sys.NewSession(spec)
 	if err != nil {
 		panic(err)
 	}
+	terms := sess.Engine().Terminals()
 
+	// Step to the swap boundary, snapshot, then let the scripted event
+	// fire and run the remainder — the session applies it through the
+	// live control plane before the halfway frame. A failed swap aborts
+	// the step (the frame has not run yet) but not the experiment: the
+	// run continues on the old decoder and SwapOK reports the failure,
+	// as the pre-scenario harness did.
 	half := cfg.Frames / 2
-	if err := eng.RunFrames(half); err != nil {
-		panic(err)
-	}
-	mid := eng.Report()
-
-	swapOK := true
-	for _, rep := range sys.SwapDecoder(cfg.CodecB, ncc.ProtoSCPSFP, 32) {
-		if !rep.OK {
-			swapOK = false
+	var mid *traffic.Report
+	for sess.Frame() < cfg.Frames {
+		if sess.Frame() == half && mid == nil {
+			mid = sess.Report()
+		}
+		if st, err := sess.Step(); err != nil {
+			if n := len(st.Events); n > 0 && st.Events[n-1].Err != nil {
+				continue // event failure logged; the frame itself still runs
+			}
+			panic(err)
 		}
 	}
-	if err := eng.RunFrames(cfg.Frames - half); err != nil {
-		panic(err)
+	final := sess.Report()
+
+	swapOK := false
+	for _, rec := range sess.EventLog() {
+		if rec.Action == scenario.ActionSwapDecoder {
+			swapOK = rec.Err == nil
+		}
 	}
-	final := eng.Report()
 
 	res := &E11Result{
 		Mid:    mid,
@@ -153,22 +183,6 @@ func E11Traffic(cfg E11Config) *E11Result {
 		"bit-exact = zero uplink losses/bit errors and zero downlink losses/bit errors on ground demodulation")
 	res.Table = t
 	return res
-}
-
-// e11Population builds the mixed-model terminal set, spreading beams
-// round-robin over the downlink carriers.
-func e11Population(beams int) []traffic.Terminal {
-	models := []traffic.Model{
-		traffic.CBR{Cells: 1},
-		traffic.CBR{Cells: 2},
-		traffic.OnOff{On: 3, Off: 2, Cells: 2, Phase: 1},
-		traffic.Hotspot{Base: 0, Surge: 5, Period: 8, Width: 2},
-	}
-	out := make([]traffic.Terminal, len(models))
-	for i, m := range models {
-		out[i] = traffic.Terminal{ID: f("t%d", i), Beam: i % beams, Model: m}
-	}
-	return out
 }
 
 // AblationTxWorkers sweeps the transmit pipeline's worker-pool width

@@ -288,14 +288,11 @@ func (p *Payload) SetCodec(codecName string) error {
 	return nil
 }
 
-// Codec returns the decoder implementation matching the DECOD devices'
-// loaded design.
-func (p *Payload) Codec() (fec.Codec, error) {
-	devs := p.cs.DevicesFor(FuncDecod)
-	if len(devs) == 0 {
-		return nil, errors.New("payload: no decoder device")
-	}
-	name := p.cs.devices[devs[0]].LoadedDesign()
+// CodecForDesign maps a DECOD design name to the fec implementation it
+// stands for — the single place design names and decoders meet, shared
+// by the live payload and by offline validators (the scenario spec
+// layer rejects unknown codecs before anything is built).
+func CodecForDesign(name string) (fec.Codec, error) {
 	switch {
 	case name == "uncoded":
 		return fec.Uncoded{}, nil
@@ -308,8 +305,23 @@ func (p *Payload) Codec() (fec.Codec, error) {
 	case strings.HasPrefix(name, "turbo"):
 		return fec.NewTurbo(6), nil
 	default:
+		return nil, fmt.Errorf("payload: unknown codec design %q", name)
+	}
+}
+
+// Codec returns the decoder implementation matching the DECOD devices'
+// loaded design.
+func (p *Payload) Codec() (fec.Codec, error) {
+	devs := p.cs.DevicesFor(FuncDecod)
+	if len(devs) == 0 {
+		return nil, errors.New("payload: no decoder device")
+	}
+	name := p.cs.devices[devs[0]].LoadedDesign()
+	codec, err := CodecForDesign(name)
+	if err != nil {
 		return nil, fmt.Errorf("payload: no codec loaded (design %q)", name)
 	}
+	return codec, nil
 }
 
 // ErrServiceDown is returned when a required function's devices are off

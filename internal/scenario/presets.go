@@ -1,0 +1,273 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// presets is the registry of named scenario specs. Builders return a
+// fresh Spec per call so callers may mutate freely.
+var presets = map[string]func() Spec{
+	"clean":           Clean,
+	"impaired":        Impaired,
+	"hotspot":         HotspotFlashCrowd,
+	"backpressure":    BackpressureSpec,
+	"swap-under-load": SwapUnderLoad,
+	"fade-ramp":       FadeRamp,
+}
+
+// Preset returns the named preset spec.
+func Preset(name string) (Spec, error) {
+	b, ok := presets[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("scenario: unknown preset %q (one of %v)", name, PresetNames())
+	}
+	return b(), nil
+}
+
+// PresetNames lists the registered presets in sorted order.
+func PresetNames() []string {
+	out := make([]string, 0, len(presets))
+	for n := range presets {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// baseTraffic is the 3-carrier × 4-slot grid the PR 2/PR 3 studies
+// standardized on, verified end to end.
+func baseTraffic(seed int64) TrafficSpec {
+	return TrafficSpec{
+		Carriers:     3,
+		Slots:        4,
+		SlotSymbols:  320,
+		GuardSymbols: 16,
+		QueueDepth:   16,
+		Policy:       "drop-tail",
+		EbN0dB:       9,
+		Verify:       true,
+		Seed:         seed,
+	}
+}
+
+// MixedPopulationSpec is the E11 study population: CBR background, a
+// bursty on/off source and a hotspot, beams round-robin over the
+// downlink carriers.
+func MixedPopulationSpec(beams int) []TerminalSpec {
+	models := []ModelSpec{
+		{Kind: "cbr", Cells: 1},
+		{Kind: "cbr", Cells: 2},
+		{Kind: "onoff", On: 3, Off: 2, Cells: 2, Phase: 1},
+		{Kind: "hotspot", Base: 0, Surge: 5, Period: 8, Width: 2},
+	}
+	out := make([]TerminalSpec, len(models))
+	for i, m := range models {
+		out[i] = TerminalSpec{ID: fmt.Sprintf("t%d", i), Beam: i % beams, Model: m}
+	}
+	return out
+}
+
+// PopulationSpec builds the deterministic terminal set the cmd tools
+// share: n terminals of one model kind (or the "mix" rotation), beams
+// round-robin over the downlink carriers.
+func PopulationSpec(model string, n, cells, beams int) ([]TerminalSpec, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("scenario: population of %d terminals", n)
+	}
+	out := make([]TerminalSpec, n)
+	for i := range out {
+		var m ModelSpec
+		switch model {
+		case "cbr":
+			m = ModelSpec{Kind: "cbr", Cells: cells}
+		case "onoff":
+			m = ModelSpec{Kind: "onoff", On: 3, Off: 2, Cells: cells + 1, Phase: i}
+		case "hotspot":
+			m = ModelSpec{Kind: "hotspot", Base: cells, Surge: 3 * cells, Period: 8, Width: 2}
+		case "mix":
+			switch i % 3 {
+			case 0:
+				m = ModelSpec{Kind: "cbr", Cells: cells}
+			case 1:
+				m = ModelSpec{Kind: "onoff", On: 3, Off: 2, Cells: cells + 1, Phase: i}
+			default:
+				m = ModelSpec{Kind: "hotspot", Base: cells, Surge: 3 * cells, Period: 8, Width: 2}
+			}
+		default:
+			return nil, fmt.Errorf("scenario: unknown population model %q (cbr, onoff, hotspot or mix)", model)
+		}
+		out[i] = TerminalSpec{ID: fmt.Sprintf("t%d", i), Beam: i % beams, Model: m}
+	}
+	return out, nil
+}
+
+// ImpairSpec attaches deterministic channel profiles sweeping the
+// requested impairments across the population: CFOs spread over ±cfoMax
+// with the extremes pinned, timing offsets over [0, 1), phases over
+// (−π, π], and the Doppler ramp on the last terminal. All zero leaves
+// the population on the ideal channel.
+func ImpairSpec(terms []TerminalSpec, cfoMax, drift float64, timingSpread, phaseSpread bool) {
+	if cfoMax == 0 && drift == 0 && !timingSpread && !phaseSpread {
+		return
+	}
+	n := len(terms)
+	for i := range terms {
+		c := &ChannelSpec{CFO: cfoMax}
+		if n > 1 {
+			c.CFO = cfoMax * (2*float64(i)/float64(n-1) - 1)
+		}
+		if timingSpread {
+			c.Timing = float64(i) / float64(n)
+		}
+		if phaseSpread {
+			c.Phase = 2*math.Pi*float64(i+1)/float64(n) - math.Pi
+		}
+		if i == n-1 {
+			c.Drift = drift
+		}
+		terms[i].Channel = c
+	}
+}
+
+// Clean is the baseline closed-loop run: the mixed population on ideal
+// channels, ground-verified — the equivalence anchor against the direct
+// traffic.Engine path.
+func Clean() Spec {
+	return Spec{
+		Name:        "clean",
+		Description: "mixed population on ideal uplinks, ground-verified closed loop",
+		Frames:      40,
+		System:      SystemSpec{Codec: "conv-r1/2-k9"},
+		Traffic:     baseTraffic(11),
+		Terminals:   MixedPopulationSpec(3),
+	}
+}
+
+// Impaired exercises the full burst synchronization chain: per-terminal
+// CFO/phase/timing/gain spread across the documented acquisition range,
+// one Doppler-drifting terminal, one clean control (the E12 population
+// shape).
+func Impaired() Spec {
+	sp := Spec{
+		Name:        "impaired",
+		Description: "per-terminal channel impairments across the acquisition range, full sync chain",
+		Frames:      40,
+		System:      SystemSpec{Codec: "conv-r1/2-k9"},
+		Traffic:     baseTraffic(12),
+	}
+	sp.Traffic.EbN0dB = 6
+	channels := []*ChannelSpec{
+		{CFO: 0.1, Phase: math.Pi, Timing: 0.5, Gain: 0.9},
+		{CFO: -0.1, Phase: -3.0, Timing: 0.9, Gain: 1.1},
+		{CFO: 0.05, Drift: 0.0015, Phase: 1.3, Timing: 0.25},
+		{CFO: -0.02, Phase: -1.8, Timing: 0.75, Gain: 1.05},
+		{CFO: 0.08, Phase: 2.6, Timing: 0.1, Gain: 0.8},
+		nil, // clean control rides the same sync chain
+	}
+	for i, c := range channels {
+		sp.Terminals = append(sp.Terminals, TerminalSpec{
+			ID:      fmt.Sprintf("t%d", i),
+			Beam:    i % sp.Traffic.Carriers,
+			Model:   ModelSpec{Kind: "cbr", Cells: 1},
+			Channel: c,
+		})
+	}
+	return sp
+}
+
+// hotspotPopulation is the flash-crowd shape shared by the hotspot and
+// backpressure presets: two surging sources and a CBR aimed at beam 0
+// against a shallow queue, plus a quiet control on beam 1.
+func hotspotPopulation() []TerminalSpec {
+	return []TerminalSpec{
+		{ID: "t0", Beam: 0, Model: ModelSpec{Kind: "cbr", Cells: 1}},
+		{ID: "t1", Beam: 0, Model: ModelSpec{Kind: "hotspot", Base: 1, Surge: 6, Period: 8, Width: 3}},
+		{ID: "t2", Beam: 0, Model: ModelSpec{Kind: "hotspot", Base: 0, Surge: 4, Period: 8, Width: 2}},
+		{ID: "t3", Beam: 1, Model: ModelSpec{Kind: "cbr", Cells: 1}},
+	}
+}
+
+// HotspotFlashCrowd overloads one beam's downlink queue: surging
+// sources against a shallow drop-tail queue, with an extra surge source
+// joining mid-run and leaving again — queue drops are the expected
+// outcome.
+func HotspotFlashCrowd() Spec {
+	sp := Spec{
+		Name:        "hotspot",
+		Description: "flash crowd on one beam against a shallow drop-tail queue, mid-run join/leave",
+		Frames:      40,
+		System:      SystemSpec{Codec: "conv-r1/2-k9"},
+		Traffic:     baseTraffic(21),
+		Terminals:   hotspotPopulation(),
+	}
+	sp.Traffic.QueueDepth = 4
+	sp.Events = []Event{
+		{Frame: 8, Action: ActionJoin, Join: &TerminalSpec{
+			ID: "t4", Beam: 0, Model: ModelSpec{Kind: "hotspot", Base: 1, Surge: 4, Period: 8, Width: 2}}},
+		{Frame: 28, Action: ActionLeave, Terminal: "t4"},
+	}
+	return sp
+}
+
+// BackpressureSpec runs the same flash crowd under backpressure —
+// admission control throttles at the terminals instead of dropping in
+// the sky — and relieves the queue bound mid-run with a scripted
+// set-queue event.
+func BackpressureSpec() Spec {
+	sp := HotspotFlashCrowd()
+	sp.Name = "backpressure"
+	sp.Description = "flash crowd under backpressure admission control, queue deepened mid-run"
+	sp.Traffic.Policy = "backpressure"
+	sp.Traffic.Seed = 22
+	sp.Events = append(sp.Events, Event{Frame: 20, Action: ActionSetQueue, QueueDepth: 8})
+	return sp
+}
+
+// SwapUnderLoad is the E11 study as a script: sustained mixed traffic
+// with the §2.3 decoder reconfiguration (conv → turbo) fired mid-run
+// while the queues hold the traffic.
+func SwapUnderLoad() Spec {
+	sp := Spec{
+		Name:        "swap-under-load",
+		Description: "sustained mixed traffic across a mid-run conv->turbo decoder swap",
+		Frames:      120,
+		System:      SystemSpec{Codec: "conv-r1/2-k9"},
+		Traffic:     baseTraffic(11),
+		Terminals:   MixedPopulationSpec(3),
+	}
+	sp.Events = []Event{
+		{Frame: 60, Action: ActionSwapDecoder, Codec: "turbo-r1/3"},
+	}
+	return sp
+}
+
+// FadeRamp scripts a slow fade with a Doppler ramp onto one terminal of
+// an initially clean population — the sync chain engages mid-run on the
+// first impairing profile and disengages when the fade clears.
+func FadeRamp() Spec {
+	sp := Spec{
+		Name:        "fade-ramp",
+		Description: "scripted fade + Doppler ramp on one terminal, sync chain engages and clears mid-run",
+		Frames:      40,
+		System:      SystemSpec{Codec: "conv-r1/2-k9"},
+		Traffic:     baseTraffic(31),
+	}
+	sp.Traffic.EbN0dB = 6
+	sp.Terminals = []TerminalSpec{
+		{ID: "t0", Beam: 0, Model: ModelSpec{Kind: "cbr", Cells: 1}},
+		{ID: "t1", Beam: 1, Model: ModelSpec{Kind: "cbr", Cells: 1}},
+		{ID: "t2", Beam: 2, Model: ModelSpec{Kind: "onoff", On: 3, Off: 2, Cells: 2, Phase: 1}},
+	}
+	sp.Events = []Event{
+		{Frame: 4, Action: ActionSetChannel, Terminal: "t0",
+			Channel: &ChannelSpec{CFO: 0.02, Timing: 0.5, Gain: 0.95}},
+		{Frame: 12, Action: ActionSetChannel, Terminal: "t0",
+			Channel: &ChannelSpec{CFO: 0.04, Drift: 0.001, Timing: 0.5, Gain: 0.9}},
+		{Frame: 24, Action: ActionSetChannel, Terminal: "t0",
+			Channel: &ChannelSpec{CFO: 0.04, Drift: 0.001, Timing: 0.5, Gain: 0.85}},
+		{Frame: 34, Action: ActionSetChannel, Terminal: "t0"}, // fade clears
+	}
+	return sp
+}

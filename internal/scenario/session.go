@@ -1,0 +1,376 @@
+package scenario
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+
+	"repro/internal/payload"
+	"repro/internal/traffic"
+)
+
+// ControlPlane is the live reconfiguration surface a session scripts
+// decoder swaps and waveform migrations through. core.System adapts its
+// ground-initiated scenarios (upload, COPS policy, five-step reload) to
+// it; a session without one falls back to reconfiguring the payload
+// directly, which models an autonomous on-board procedure with no
+// ground round-trip.
+type ControlPlane interface {
+	SwapDecoder(codec string) error
+	MigrateWaveform(mode payload.WaveformMode) error
+}
+
+// EventRecord is the execution log entry of one scripted event.
+type EventRecord struct {
+	Frame  int
+	Action string
+	Detail string
+	Err    error
+}
+
+// String renders a compact log line.
+func (r EventRecord) String() string {
+	s := fmt.Sprintf("frame %d: %s", r.Frame, r.Action)
+	if r.Detail != "" {
+		s += " " + r.Detail
+	}
+	if r.Err != nil {
+		s += " FAILED: " + r.Err.Error()
+	}
+	return s
+}
+
+// FrameStats is the per-frame delta of the run counters, delivered to
+// observers after every frame (the cumulative view rides alongside as a
+// full Report snapshot).
+type FrameStats struct {
+	Frame  int // frame index just completed (0-based)
+	Outage bool
+
+	GrantedCells     int
+	ThrottledCells   int
+	UplinkFailures   int
+	UplinkBitErrs    int
+	DeliveredPackets int
+	DeliveredBits    int
+	DroppedQueue     int
+	DroppedReencode  int
+
+	// Events applied at this frame's boundary, in script order.
+	Events []EventRecord
+}
+
+// Observer is the per-frame hook: stats is this frame's delta, report
+// builds the live cumulative metrics on demand (the full per-terminal
+// reduction costs O(terminals) — observers that only watch deltas
+// never pay it). Each report() call returns a fresh snapshot the
+// observer may retain. Observers run synchronously between frames, so
+// they see (and may react to, e.g. by cancelling the run context) a
+// consistent frame-boundary state.
+type Observer func(stats FrameStats, report func() *traffic.Report)
+
+// Session executes a Spec frame by frame over a traffic engine, firing
+// scripted events at frame boundaries.
+type Session struct {
+	spec Spec
+	pl   *payload.Payload
+	eng  *traffic.Engine
+	ctrl ControlPlane
+	obs  Observer
+	ctx  context.Context
+
+	pop       []traffic.Terminal // population override (WithPopulation)
+	cfg       *traffic.Config    // config override (WithTrafficConfig)
+	verify    bool
+	verifySet bool
+
+	events []Event // sorted stable by frame
+	next   int
+	log    []EventRecord
+	prev   traffic.Report
+}
+
+// Option configures a Session at construction.
+type Option func(*Session)
+
+// WithObserver installs the per-frame observer hook.
+func WithObserver(obs Observer) Option { return func(s *Session) { s.obs = obs } }
+
+// WithVerification overrides the spec's ground-verification switch.
+func WithVerification(v bool) Option {
+	return func(s *Session) { s.verify, s.verifySet = v, true }
+}
+
+// WithContext installs the session's base context: Step refuses to run
+// once it is done, and Run uses it when called with a nil context.
+func WithContext(ctx context.Context) Option { return func(s *Session) { s.ctx = ctx } }
+
+// WithControlPlane routes swap-decoder / migrate-waveform events
+// through a live control plane instead of direct payload calls.
+func WithControlPlane(cp ControlPlane) Option { return func(s *Session) { s.ctrl = cp } }
+
+// WithPayload attaches the session to an existing payload (e.g. the
+// assembled system's) instead of booting one from the spec. The spec's
+// codec, when set, is still installed.
+func WithPayload(pl *payload.Payload) Option { return func(s *Session) { s.pl = pl } }
+
+// WithPopulation overrides the spec's terminal list with an already
+// resolved population — the bridge for callers whose traffic models
+// have no declarative form. Spec-level terminal and event-reference
+// validation is then skipped (the engine still enforces its own
+// invariants).
+func WithPopulation(terms []traffic.Terminal) Option {
+	return func(s *Session) { s.pop = terms }
+}
+
+// WithTrafficConfig overrides the resolved traffic configuration
+// wholesale (custom carrier plans and other knobs the declarative
+// TrafficSpec does not model).
+func WithTrafficConfig(cfg traffic.Config) Option {
+	return func(s *Session) { c := cfg; s.cfg = &c }
+}
+
+// NewSession resolves and validates a Spec into a runnable Session.
+func NewSession(spec Spec, opts ...Option) (*Session, error) {
+	s := &Session{spec: spec, ctx: context.Background()}
+	for _, o := range opts {
+		o(s)
+	}
+	if s.verifySet {
+		s.spec.Traffic.Verify = s.verify
+		if s.cfg != nil {
+			s.cfg.Verify = s.verify
+		}
+	}
+	loose := s.pop != nil
+	if err := s.spec.validate(loose); err != nil {
+		return nil, err
+	}
+
+	if s.pl == nil {
+		if s.spec.System.Codec == "" {
+			return nil, errors.New("scenario: booting a payload needs system.codec")
+		}
+		pcfg := payload.DefaultConfig()
+		pcfg.Carriers = s.spec.System.Carriers
+		if pcfg.Carriers == 0 {
+			pcfg.Carriers = s.spec.Traffic.Carriers
+		}
+		if s.spec.System.PayloadSymbols > 0 {
+			pcfg.TDMAPayloadSymbols = s.spec.System.PayloadSymbols
+		}
+		pl, err := payload.New(pcfg)
+		if err != nil {
+			return nil, err
+		}
+		s.pl = pl
+		if err := s.pl.SetWaveform(payload.ModeTDMA); err != nil {
+			return nil, err
+		}
+	} else {
+		// An attached payload is shared state: installing TDMA on a
+		// freshly booted one (no waveform yet) is setup, but silently
+		// reloading the DEMOD devices of a payload someone migrated to
+		// another waveform would clobber it — that needs an explicit
+		// migrate-waveform (or ground procedure) first.
+		switch s.pl.Mode() {
+		case payload.ModeTDMA:
+		case payload.ModeNone:
+			if err := s.pl.SetWaveform(payload.ModeTDMA); err != nil {
+				return nil, err
+			}
+		default:
+			return nil, fmt.Errorf("scenario: attached payload carries the %s waveform; migrate it to tdma first", s.pl.Mode())
+		}
+		// Validation sized burst budgets from the spec; the attached
+		// payload must actually match, or the checks were vacuous.
+		bf := s.pl.BurstFormat()
+		if n := s.spec.System.PayloadSymbols; n > 0 && bf.PayloadLen != n {
+			return nil, fmt.Errorf("scenario: spec declares %d-symbol burst payloads, attached payload carries %d", n, bf.PayloadLen)
+		}
+		if bs := s.spec.Traffic.SlotSymbols - s.spec.Traffic.GuardSymbols; bf.TotalSymbols() > bs {
+			return nil, fmt.Errorf("scenario: attached payload's %d-symbol burst over the %d-symbol slot budget", bf.TotalSymbols(), bs)
+		}
+	}
+	if s.spec.System.Codec != "" {
+		if err := s.pl.SetCodec(s.spec.System.Codec); err != nil {
+			return nil, err
+		}
+	}
+
+	cfg, err := s.spec.TrafficConfig()
+	if err != nil {
+		return nil, err
+	}
+	if s.cfg != nil {
+		cfg = *s.cfg
+	}
+	terms := s.pop
+	if terms == nil {
+		if terms, err = s.spec.Population(); err != nil {
+			return nil, err
+		}
+	}
+	eng, err := traffic.New(s.pl, cfg, terms)
+	if err != nil {
+		return nil, err
+	}
+	s.eng = eng
+	s.events = append([]Event(nil), s.spec.Events...)
+	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].Frame < s.events[j].Frame })
+	s.prev = eng.Metrics()
+	return s, nil
+}
+
+// Spec returns the session's (possibly option-adjusted) spec.
+func (s *Session) Spec() Spec { return s.spec }
+
+// Engine exposes the underlying traffic engine — the session owns its
+// frame clock, so callers should mutate through events, not directly.
+func (s *Session) Engine() *traffic.Engine { return s.eng }
+
+// Payload returns the payload under the session.
+func (s *Session) Payload() *payload.Payload { return s.pl }
+
+// Frame returns the number of frames completed.
+func (s *Session) Frame() int { return s.eng.Frame() }
+
+// Report snapshots the cumulative run metrics.
+func (s *Session) Report() *traffic.Report { return s.eng.Report() }
+
+// EventLog returns the events executed so far, in execution order.
+func (s *Session) EventLog() []EventRecord { return append([]EventRecord(nil), s.log...) }
+
+// Step applies the events scheduled for the upcoming frame, runs that
+// frame through the closed loop, and returns the frame's stat delta.
+// Stepping past Spec.Frames is legal (benchmarks free-run a session);
+// only Run treats Spec.Frames as the finish line. A failed event aborts
+// the step with its record still in the log and in the returned stats.
+func (s *Session) Step() (FrameStats, error) {
+	if err := s.ctx.Err(); err != nil {
+		return FrameStats{}, err
+	}
+	f := s.eng.Frame()
+	st := FrameStats{Frame: f}
+	for s.next < len(s.events) && s.events[s.next].Frame <= f {
+		ev := s.events[s.next]
+		s.next++
+		rec := s.apply(ev)
+		s.log = append(s.log, rec)
+		st.Events = append(st.Events, rec)
+		if rec.Err != nil {
+			return st, fmt.Errorf("scenario: frame %d event %s: %w", f, ev.Action, rec.Err)
+		}
+	}
+	if err := s.eng.Step(); err != nil {
+		return st, err
+	}
+	cur := s.eng.Metrics()
+	prev := s.prev
+	s.prev = cur
+	st.Outage = cur.OutageFrames > prev.OutageFrames
+	st.GrantedCells = cur.GrantedCells - prev.GrantedCells
+	st.ThrottledCells = cur.ThrottledCells - prev.ThrottledCells
+	st.UplinkFailures = cur.UplinkFailures - prev.UplinkFailures
+	st.UplinkBitErrs = cur.UplinkBitErrs - prev.UplinkBitErrs
+	st.DeliveredPackets = cur.DeliveredPackets - prev.DeliveredPackets
+	st.DeliveredBits = cur.DeliveredBits - prev.DeliveredBits
+	st.DroppedQueue = cur.DroppedQueue - prev.DroppedQueue
+	st.DroppedReencode = cur.DroppedReencode - prev.DroppedReencode
+	if s.obs != nil {
+		s.obs(st, s.eng.Report)
+	}
+	return st, nil
+}
+
+// Run executes the spec to its scripted length, checking the context at
+// every frame boundary — a cancelled run stops cleanly between frames
+// and returns the consistent report accumulated so far alongside the
+// context's error. A nil ctx falls back to the WithContext option (or
+// context.Background).
+func (s *Session) Run(ctx context.Context) (*traffic.Report, error) {
+	if ctx == nil {
+		ctx = s.ctx
+	}
+	for s.eng.Frame() < s.spec.Frames {
+		if err := ctx.Err(); err != nil {
+			return s.eng.Report(), err
+		}
+		if _, err := s.Step(); err != nil {
+			return s.eng.Report(), err
+		}
+	}
+	return s.eng.Report(), nil
+}
+
+// apply executes one scripted event against the live run.
+func (s *Session) apply(ev Event) EventRecord {
+	rec := EventRecord{Frame: ev.Frame, Action: ev.Action}
+	var err error
+	switch ev.Action {
+	case ActionSwapDecoder:
+		rec.Detail = ev.Codec
+		if s.ctrl != nil {
+			err = s.ctrl.SwapDecoder(ev.Codec)
+		} else {
+			err = s.pl.SetCodec(ev.Codec)
+		}
+	case ActionMigrateWaveform:
+		rec.Detail = ev.Waveform
+		var mode payload.WaveformMode
+		if mode, err = ParseWaveform(ev.Waveform); err == nil {
+			if s.ctrl != nil {
+				err = s.ctrl.MigrateWaveform(mode)
+			} else {
+				err = s.pl.SetWaveform(mode)
+			}
+		}
+	case ActionSetChannel:
+		rec.Detail = ev.Terminal
+		err = s.eng.SetTerminalChannel(ev.Terminal, ev.Channel.Profile())
+	case ActionJoin:
+		if ev.Join == nil {
+			err = errors.New("missing join terminal")
+			break
+		}
+		rec.Detail = ev.Join.ID
+		var term traffic.Terminal
+		if term, err = ev.Join.Terminal(); err == nil {
+			err = s.eng.AddTerminal(term)
+		}
+	case ActionLeave:
+		rec.Detail = ev.Terminal
+		err = s.eng.RemoveTerminal(ev.Terminal)
+	case ActionSetQueue:
+		// Loose sessions skip spec-level event validation, so the
+		// runtime re-rejects what Validate would have: a negative depth
+		// and an event that changes nothing.
+		if ev.QueueDepth < 0 {
+			err = fmt.Errorf("queue depth %d", ev.QueueDepth)
+			break
+		}
+		if ev.QueueDepth == 0 && ev.Policy == "" {
+			err = errors.New("neither queue depth nor policy given")
+			break
+		}
+		if ev.QueueDepth > 0 {
+			rec.Detail = fmt.Sprintf("depth=%d", ev.QueueDepth)
+			err = s.eng.SetQueueDepth(ev.QueueDepth)
+		}
+		if err == nil && ev.Policy != "" {
+			var p traffic.DropPolicy
+			if p, err = ParsePolicy(ev.Policy); err == nil {
+				s.eng.SetQueuePolicy(p)
+				if rec.Detail != "" {
+					rec.Detail += " "
+				}
+				rec.Detail += "policy=" + ev.Policy
+			}
+		}
+	default:
+		err = fmt.Errorf("unknown action %q", ev.Action)
+	}
+	rec.Err = err
+	return rec
+}

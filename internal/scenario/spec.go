@@ -1,0 +1,577 @@
+// Package scenario is the declarative runtime over the closed
+// regenerative loop: a JSON-serializable Spec describes a complete run
+// (system configuration, MF-TDMA traffic shape, terminal population
+// with per-terminal channel profiles, and a frame-indexed event
+// script), Validate rejects inconsistent specs with precise errors
+// before anything is built, a registry of named presets covers the
+// recurring study shapes, and Session executes a Spec frame by frame
+// with observer hooks, context cancellation and scripted events applied
+// at frame boundaries — decoder swaps and waveform migrations through
+// the live control plane, channel-profile changes (Doppler/fade ramps),
+// terminal joins/leaves, and queue reconfiguration. What used to be a
+// bespoke harness per experiment (E11's mid-run swap, E12's impairment
+// sweep) is a ~20-line script over this package.
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/modem"
+	"repro/internal/payload"
+	"repro/internal/traffic"
+)
+
+// MaxAbsCFO is the validation bound on a terminal's effective carrier
+// frequency offset (CFO plus accumulated Doppler drift, cycles/symbol)
+// at any frame of the run. The fourth-power feedforward estimator is
+// unambiguous within ±1/8 cycle/symbol; beyond it only the unique-word
+// candidate search can save a burst, so specs that depend on it are
+// rejected rather than run into alias territory (DESIGN.md §4).
+const MaxAbsCFO = 0.125
+
+// MinInfoBits is the smallest codeword the engine ever forms
+// (traffic.InfoBitsFor starts at 16 info bits); a burst budget that
+// cannot carry it makes every frame undecodable.
+const MinInfoBits = 16
+
+// Spec is one complete declarative scenario: everything a run needs,
+// JSON round-trippable, validated before execution.
+type Spec struct {
+	Name        string `json:"name,omitempty"`
+	Description string `json:"description,omitempty"`
+	// Frames is the scripted run length Session.Run executes. Events
+	// beyond it never fire under Run (callers driving Step directly may
+	// still reach them).
+	Frames    int            `json:"frames"`
+	System    SystemSpec     `json:"system"`
+	Traffic   TrafficSpec    `json:"traffic"`
+	Terminals []TerminalSpec `json:"terminals"`
+	Events    []Event        `json:"events,omitempty"`
+}
+
+// SystemSpec sizes the payload under the run.
+type SystemSpec struct {
+	// Carriers is the payload carrier count; 0 means the traffic
+	// frame's carrier count.
+	Carriers int `json:"carriers,omitempty"`
+	// Codec is the DECOD design installed at session start (e.g.
+	// "conv-r1/2-k9", "turbo-r1/3"). Required for specs that boot their
+	// own payload; optional when attaching to a pre-configured one.
+	Codec string `json:"codec"`
+	// PayloadSymbols sizes TDMA burst payloads; 0 keeps the payload
+	// default (200 symbols).
+	PayloadSymbols int `json:"payload_symbols,omitempty"`
+}
+
+// TrafficSpec is the JSON-friendly mirror of traffic.Config on the
+// default carrier plan.
+type TrafficSpec struct {
+	Carriers     int     `json:"carriers"`
+	Slots        int     `json:"slots"`
+	SlotSymbols  int     `json:"slot_symbols"`
+	GuardSymbols int     `json:"guard_symbols"`
+	QueueDepth   int     `json:"queue_depth"`
+	Policy       string  `json:"policy,omitempty"` // "drop-tail" (default) or "backpressure"
+	EbN0dB       float64 `json:"ebn0_db,omitempty"`
+	Verify       bool    `json:"verify,omitempty"`
+	Seed         int64   `json:"seed"`
+}
+
+// ModelSpec is a declarative traffic model; Kind selects cbr, onoff or
+// hotspot, the remaining fields parameterize it (unused ones stay 0).
+type ModelSpec struct {
+	Kind   string `json:"kind"`
+	Cells  int    `json:"cells,omitempty"`
+	On     int    `json:"on,omitempty"`
+	Off    int    `json:"off,omitempty"`
+	Phase  int    `json:"phase,omitempty"`
+	Base   int    `json:"base,omitempty"`
+	Surge  int    `json:"surge,omitempty"`
+	Period int    `json:"period,omitempty"`
+	Width  int    `json:"width,omitempty"`
+}
+
+// ChannelSpec is the JSON mirror of traffic.ChannelProfile.
+type ChannelSpec struct {
+	CFO    float64 `json:"cfo,omitempty"`
+	Drift  float64 `json:"drift,omitempty"`
+	Phase  float64 `json:"phase,omitempty"`
+	Timing float64 `json:"timing,omitempty"`
+	Gain   float64 `json:"gain,omitempty"`
+	EsN0dB float64 `json:"esn0_db,omitempty"`
+}
+
+// TerminalSpec is one terminal of the population.
+type TerminalSpec struct {
+	ID      string       `json:"id"`
+	Beam    int          `json:"beam"`
+	Model   ModelSpec    `json:"model"`
+	Channel *ChannelSpec `json:"channel,omitempty"`
+}
+
+// Event actions. Events execute at the boundary before their frame runs.
+const (
+	// ActionSwapDecoder installs Event.Codec on the DECOD devices —
+	// through the live control plane when the session has one (ground
+	// upload + COPS policy + five-step reload), directly otherwise.
+	ActionSwapDecoder = "swap-decoder"
+	// ActionMigrateWaveform installs Event.Waveform ("tdma" or "cdma")
+	// on the DEMOD devices, same control-plane rule.
+	ActionMigrateWaveform = "migrate-waveform"
+	// ActionSetChannel replaces Event.Terminal's channel profile with
+	// Event.Channel (nil clears it) — fades, Doppler ramps, recoveries.
+	ActionSetChannel = "set-channel"
+	// ActionJoin admits Event.Join to the live population.
+	ActionJoin = "join"
+	// ActionLeave departs Event.Terminal.
+	ActionLeave = "leave"
+	// ActionSetQueue applies Event.QueueDepth (if positive) and
+	// Event.Policy (if non-empty) to the downlink queues.
+	ActionSetQueue = "set-queue"
+)
+
+// Event is one scripted action, applied at the boundary before frame
+// Frame runs (frame numbers are absolute, 0-based).
+type Event struct {
+	Frame      int           `json:"frame"`
+	Action     string        `json:"action"`
+	Codec      string        `json:"codec,omitempty"`
+	Waveform   string        `json:"waveform,omitempty"`
+	Terminal   string        `json:"terminal,omitempty"`
+	Join       *TerminalSpec `json:"join,omitempty"`
+	Channel    *ChannelSpec  `json:"channel,omitempty"`
+	QueueDepth int           `json:"queue_depth,omitempty"`
+	Policy     string        `json:"policy,omitempty"`
+}
+
+// Load reads and validates a Spec from JSON. Unknown fields and
+// trailing content after the document are rejected — a typoed key or a
+// botched merge in a scenario file should fail loudly, not silently
+// fall back to a default.
+func Load(r io.Reader) (Spec, error) {
+	var sp Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&sp); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parse: %w", err)
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return Spec{}, errors.New("scenario: parse: trailing content after the spec document")
+	}
+	if err := sp.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return sp, nil
+}
+
+// LoadFile reads and validates a Spec from a JSON file.
+func LoadFile(path string) (Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, err
+	}
+	defer f.Close()
+	sp, err := Load(f)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return sp, nil
+}
+
+// MarshalIndent renders the canonical JSON form (the golden-file and
+// scenario-file format).
+func (sp Spec) MarshalIndent() ([]byte, error) {
+	data, err := json.MarshalIndent(sp, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// ParsePolicy maps the spec-level policy name to the engine constant.
+func ParsePolicy(s string) (traffic.DropPolicy, error) {
+	switch s {
+	case "", "drop-tail":
+		return traffic.DropTail, nil
+	case "backpressure":
+		return traffic.Backpressure, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown queue policy %q (drop-tail or backpressure)", s)
+	}
+}
+
+// ParseWaveform maps the spec-level waveform name to the payload mode.
+func ParseWaveform(s string) (payload.WaveformMode, error) {
+	switch s {
+	case "tdma":
+		return payload.ModeTDMA, nil
+	case "cdma":
+		return payload.ModeCDMA, nil
+	default:
+		return payload.ModeNone, fmt.Errorf("scenario: unknown waveform %q (tdma or cdma)", s)
+	}
+}
+
+// FrameConfig resolves the MF-TDMA frame shape.
+func (ts TrafficSpec) FrameConfig() modem.FrameConfig {
+	return modem.FrameConfig{
+		Carriers:     ts.Carriers,
+		Slots:        ts.Slots,
+		SlotSymbols:  ts.SlotSymbols,
+		GuardSymbols: ts.GuardSymbols,
+	}
+}
+
+// TrafficConfig resolves the spec's traffic shape to an engine
+// configuration on the default carrier plan.
+func (sp Spec) TrafficConfig() (traffic.Config, error) {
+	pol, err := ParsePolicy(sp.Traffic.Policy)
+	if err != nil {
+		return traffic.Config{}, err
+	}
+	return traffic.Config{
+		Frame:      sp.Traffic.FrameConfig(),
+		QueueDepth: sp.Traffic.QueueDepth,
+		Policy:     pol,
+		EbN0dB:     sp.Traffic.EbN0dB,
+		Verify:     sp.Traffic.Verify,
+		Seed:       sp.Traffic.Seed,
+	}, nil
+}
+
+// Build resolves a declarative model to its engine implementation.
+func (m ModelSpec) Build() (traffic.Model, error) {
+	switch m.Kind {
+	case "cbr":
+		return traffic.CBR{Cells: m.Cells}, nil
+	case "onoff":
+		return traffic.OnOff{On: m.On, Off: m.Off, Cells: m.Cells, Phase: m.Phase}, nil
+	case "hotspot":
+		return traffic.Hotspot{Base: m.Base, Surge: m.Surge, Period: m.Period, Width: m.Width}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown traffic model %q (cbr, onoff or hotspot)", m.Kind)
+	}
+}
+
+// Profile resolves a channel spec to the engine profile (nil for nil).
+func (c *ChannelSpec) Profile() *traffic.ChannelProfile {
+	if c == nil {
+		return nil
+	}
+	return &traffic.ChannelProfile{
+		CFO:    c.CFO,
+		Drift:  c.Drift,
+		Phase:  c.Phase,
+		Timing: c.Timing,
+		Gain:   c.Gain,
+		EsN0dB: c.EsN0dB,
+	}
+}
+
+// Terminal resolves a terminal spec to the engine terminal.
+func (t TerminalSpec) Terminal() (traffic.Terminal, error) {
+	m, err := t.Model.Build()
+	if err != nil {
+		return traffic.Terminal{}, fmt.Errorf("scenario: terminal %q: %w", t.ID, err)
+	}
+	return traffic.Terminal{ID: t.ID, Beam: t.Beam, Model: m, Channel: t.Channel.Profile()}, nil
+}
+
+// Population resolves the spec's terminal list.
+func (sp Spec) Population() ([]traffic.Terminal, error) {
+	out := make([]traffic.Terminal, len(sp.Terminals))
+	for i, t := range sp.Terminals {
+		term, err := t.Terminal()
+		if err != nil {
+			return nil, err
+		}
+		out[i] = term
+	}
+	return out, nil
+}
+
+// SpecFromConfig lifts an imperative engine configuration into a Spec —
+// the compatibility bridge core.RunTraffic rides (the population, which
+// may use arbitrary Model implementations, travels separately through
+// WithPopulation).
+func SpecFromConfig(cfg traffic.Config, frames int) Spec {
+	return Spec{
+		Frames: frames,
+		Traffic: TrafficSpec{
+			Carriers:     cfg.Frame.Carriers,
+			Slots:        cfg.Frame.Slots,
+			SlotSymbols:  cfg.Frame.SlotSymbols,
+			GuardSymbols: cfg.Frame.GuardSymbols,
+			QueueDepth:   cfg.QueueDepth,
+			Policy:       cfg.Policy.String(),
+			EbN0dB:       cfg.EbN0dB,
+			Verify:       cfg.Verify,
+			Seed:         cfg.Seed,
+		},
+	}
+}
+
+// burstBudget returns the burst format implied by the spec and its
+// payload bit budget.
+func (sp Spec) burstFormat() modem.BurstFormat {
+	symbols := sp.System.PayloadSymbols
+	if symbols == 0 {
+		symbols = payload.DefaultConfig().TDMAPayloadSymbols
+	}
+	return modem.DefaultBurstFormat(symbols)
+}
+
+// Validate rejects inconsistent specs with precise errors: structural
+// problems (empty population, beams out of range, unknown models or
+// codecs), physical ones (codeword over the burst budget, burst over
+// the slot budget, CFO walking beyond the acquisition range, timing
+// offsets outside [0,1)), and script ones (events referencing terminals
+// that are not in the population at that frame).
+func (sp Spec) Validate() error { return sp.validate(false) }
+
+// validate is Validate with a loose mode for sessions whose population
+// is supplied out-of-band (WithPopulation): the terminal list, the
+// events' terminal references and the run length are then the caller's
+// responsibility, while the traffic shape and system checks still run.
+func (sp Spec) validate(loose bool) error {
+	t := sp.Traffic
+	if t.Carriers < 1 || t.Slots < 1 {
+		return fmt.Errorf("scenario: frame needs at least one carrier and one slot (got %dx%d)", t.Carriers, t.Slots)
+	}
+	if t.GuardSymbols < 0 || t.SlotSymbols <= t.GuardSymbols {
+		return fmt.Errorf("scenario: slot of %d symbols cannot carry %d guard symbols", t.SlotSymbols, t.GuardSymbols)
+	}
+	if sp.System.Carriers != 0 && sp.System.Carriers < t.Carriers {
+		return fmt.Errorf("scenario: payload serves %d carriers, frame needs %d", sp.System.Carriers, t.Carriers)
+	}
+	if t.QueueDepth < 1 {
+		return fmt.Errorf("scenario: queue depth %d, must be at least 1", t.QueueDepth)
+	}
+	if _, err := ParsePolicy(t.Policy); err != nil {
+		return err
+	}
+	if sp.System.PayloadSymbols < 0 {
+		return fmt.Errorf("scenario: negative payload symbols %d", sp.System.PayloadSymbols)
+	}
+	bf := sp.burstFormat()
+	if bs := t.SlotSymbols - t.GuardSymbols; bf.TotalSymbols() > bs {
+		return fmt.Errorf("scenario: burst of %d symbols over the %d-symbol slot budget", bf.TotalSymbols(), bs)
+	}
+	if sp.System.Codec != "" {
+		if err := sp.checkCodec(sp.System.Codec); err != nil {
+			return err
+		}
+	}
+	if !loose {
+		if sp.Frames < 1 {
+			return fmt.Errorf("scenario: run of %d frames", sp.Frames)
+		}
+		if sp.System.Codec == "" {
+			return errors.New("scenario: system.codec is required")
+		}
+		if err := sp.validateTerminals(); err != nil {
+			return err
+		}
+		if err := sp.validateEvents(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkCodec verifies the codec exists and its smallest codeword fits
+// the burst payload budget.
+func (sp Spec) checkCodec(name string) error {
+	codec, err := payload.CodecForDesign(name)
+	if err != nil {
+		return fmt.Errorf("scenario: %w", err)
+	}
+	budget := sp.burstFormat().PayloadBits()
+	if n := codec.EncodedLen(MinInfoBits); n > budget {
+		return fmt.Errorf("scenario: codec %s codeword (%d bits at k=%d) over the %d-bit burst budget",
+			name, n, MinInfoBits, budget)
+	}
+	return nil
+}
+
+func (sp Spec) validateTerminals() error {
+	if len(sp.Terminals) == 0 {
+		return errors.New("scenario: empty terminal population")
+	}
+	seen := make(map[string]bool, len(sp.Terminals))
+	for _, term := range sp.Terminals {
+		if term.ID == "" {
+			return errors.New("scenario: terminal without an ID")
+		}
+		if seen[term.ID] {
+			return fmt.Errorf("scenario: duplicate terminal %q", term.ID)
+		}
+		seen[term.ID] = true
+		if err := sp.checkTerminal(term); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkTerminal validates one terminal spec minus ID uniqueness (which
+// is timeline-dependent for joins).
+func (sp Spec) checkTerminal(term TerminalSpec) error {
+	if term.Beam < 0 || term.Beam >= sp.Traffic.Carriers {
+		return fmt.Errorf("scenario: terminal %q beam %d outside the %d-beam downlink", term.ID, term.Beam, sp.Traffic.Carriers)
+	}
+	if _, err := term.Model.Build(); err != nil {
+		return err
+	}
+	if m := term.Model; m.Kind == "onoff" && m.On+m.Off <= 0 {
+		return fmt.Errorf("scenario: terminal %q on/off period %d+%d is empty", term.ID, m.On, m.Off)
+	}
+	return nil
+}
+
+// checkChannel validates a profile's static fields (the CFO trajectory
+// is segment-checked separately, since drift accumulates over frames).
+func checkChannel(id string, c *ChannelSpec) error {
+	if c == nil {
+		return nil
+	}
+	if c.Timing < 0 || c.Timing >= 1 {
+		return fmt.Errorf("scenario: terminal %q timing offset %.3f outside [0, 1)", id, c.Timing)
+	}
+	if c.Gain < 0 || c.Gain > 2 {
+		return fmt.Errorf("scenario: terminal %q gain %.3f outside [0, 2] (0 = unity)", id, c.Gain)
+	}
+	return nil
+}
+
+// checkCFOSegment bounds the effective CFO while the profile is in
+// force: the Doppler ramp anchors at the installation frame (matching
+// the engine), so the effective offset at frame f in [from, to) is
+// CFO + Drift·(f−from) — linear, extremes at the endpoints.
+func checkCFOSegment(id string, c *ChannelSpec, from, to int) error {
+	if c == nil || to <= from {
+		return nil
+	}
+	worst := math.Abs(c.CFO)
+	if w := math.Abs(c.CFO + c.Drift*float64(to-1-from)); w > worst {
+		worst = w
+	}
+	if worst > MaxAbsCFO {
+		return fmt.Errorf("scenario: terminal %q CFO reaches %.4f cycles/symbol by frame %d, beyond the ±%.3f acquisition range",
+			id, worst, to-1, MaxAbsCFO)
+	}
+	return nil
+}
+
+// profileChange is one point of a terminal's channel timeline.
+type profileChange struct {
+	frame   int
+	channel *ChannelSpec
+}
+
+// validateEvents walks the event script in frame order, tracking which
+// terminals exist (joins/leaves) and each terminal's channel-profile
+// timeline, so references and CFO trajectories are checked against the
+// population as it stands at that frame.
+func (sp Spec) validateEvents() error {
+	evs := append([]Event(nil), sp.Events...)
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].Frame < evs[j].Frame })
+
+	// horizon bounds drift accumulation: the scripted run length, or the
+	// last event's frame if the script reaches past it.
+	horizon := sp.Frames
+	if n := len(evs); n > 0 && evs[n-1].Frame+1 > horizon {
+		horizon = evs[n-1].Frame + 1
+	}
+
+	active := make(map[string]bool, len(sp.Terminals))
+	timeline := make(map[string][]profileChange)
+	for _, term := range sp.Terminals {
+		active[term.ID] = true
+		timeline[term.ID] = []profileChange{{0, term.Channel}}
+	}
+
+	for i, ev := range evs {
+		where := fmt.Sprintf("scenario: event %d (%s at frame %d)", i, ev.Action, ev.Frame)
+		if ev.Frame < 0 {
+			return fmt.Errorf("%s: negative frame", where)
+		}
+		switch ev.Action {
+		case ActionSwapDecoder:
+			if ev.Codec == "" {
+				return fmt.Errorf("%s: missing codec", where)
+			}
+			if err := sp.checkCodec(ev.Codec); err != nil {
+				return fmt.Errorf("%s: %w", where, err)
+			}
+		case ActionMigrateWaveform:
+			if _, err := ParseWaveform(ev.Waveform); err != nil {
+				return fmt.Errorf("%s: %w", where, err)
+			}
+		case ActionSetChannel:
+			if !active[ev.Terminal] {
+				return fmt.Errorf("%s: terminal %q not in the population at that frame", where, ev.Terminal)
+			}
+			timeline[ev.Terminal] = append(timeline[ev.Terminal], profileChange{ev.Frame, ev.Channel})
+		case ActionJoin:
+			if ev.Join == nil {
+				return fmt.Errorf("%s: missing join terminal", where)
+			}
+			if ev.Join.ID == "" {
+				return fmt.Errorf("%s: join terminal without an ID", where)
+			}
+			if active[ev.Join.ID] {
+				return fmt.Errorf("%s: terminal %q already in the population", where, ev.Join.ID)
+			}
+			if err := sp.checkTerminal(*ev.Join); err != nil {
+				return fmt.Errorf("%s: %w", where, err)
+			}
+			active[ev.Join.ID] = true
+			timeline[ev.Join.ID] = append(timeline[ev.Join.ID], profileChange{ev.Frame, ev.Join.Channel})
+		case ActionLeave:
+			if !active[ev.Terminal] {
+				return fmt.Errorf("%s: terminal %q not in the population at that frame", where, ev.Terminal)
+			}
+			active[ev.Terminal] = false
+			timeline[ev.Terminal] = append(timeline[ev.Terminal], profileChange{ev.Frame, nil})
+		case ActionSetQueue:
+			if ev.QueueDepth == 0 && ev.Policy == "" {
+				return fmt.Errorf("%s: neither queue depth nor policy given", where)
+			}
+			if ev.QueueDepth < 0 {
+				return fmt.Errorf("%s: queue depth %d", where, ev.QueueDepth)
+			}
+			if ev.Policy != "" {
+				if _, err := ParsePolicy(ev.Policy); err != nil {
+					return fmt.Errorf("%s: %w", where, err)
+				}
+			}
+		default:
+			return fmt.Errorf("%s: unknown action", where)
+		}
+	}
+
+	// Per-terminal channel timelines: static checks per profile, CFO
+	// trajectory per active segment.
+	for id, changes := range timeline {
+		for i, ch := range changes {
+			if err := checkChannel(id, ch.channel); err != nil {
+				return err
+			}
+			end := horizon
+			if i+1 < len(changes) {
+				end = changes[i+1].frame
+			}
+			if err := checkCFOSegment(id, ch.channel, ch.frame, end); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

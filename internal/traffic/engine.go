@@ -95,14 +95,14 @@ func InfoBitsFor(c fec.Codec, budget int) int {
 // qpkt is one packet waiting in a beam's downlink queue.
 type qpkt struct {
 	bits    []byte
-	term    int
+	term    *termState
 	ingress int // frame the packet entered the payload
 }
 
 // uplinkCell is one granted (carrier, slot) cell of the current frame.
 type uplinkCell struct {
 	asg  modem.SlotAssignment
-	term int
+	term *termState
 	info []byte
 }
 
@@ -114,12 +114,17 @@ type sentCell struct {
 
 // Engine drives the closed regenerative loop frame after frame.
 type Engine struct {
-	pl        *payload.Payload
-	tx        *payload.Transmitter
-	sched     *modem.SlotScheduler
-	cfg       Config
-	terminals []Terminal
-	rngs      []*rand.Rand
+	pl    *payload.Payload
+	tx    *payload.Transmitter
+	sched *modem.SlotScheduler
+	cfg   Config
+
+	// terms is the population in join order, departed terminals
+	// included (active=false) so their statistics survive a mid-run
+	// leave; rngSeq counts terminals ever admitted so each gets a
+	// stable deterministic seed regardless of later joins/leaves.
+	terms  []*termState
+	rngSeq int64
 
 	queues [][]qpkt
 	frame  int
@@ -133,11 +138,26 @@ type Engine struct {
 	grid [][][]byte
 	sent []sentCell
 
-	met      Report
-	latSum   int
-	wall     time.Duration
-	termStat []TerminalStats
-	termSync []syncAccum
+	met    Report
+	latSum int
+	wall   time.Duration
+}
+
+// termState is one terminal's live engine state: the terminal itself,
+// its deterministic payload-bit RNG, and its accumulated statistics.
+// Queued packets and in-flight cells reference it by pointer, so a
+// terminal that leaves mid-run keeps accruing delivery stats for
+// packets it already got into the sky. profSince anchors the channel
+// profile's Doppler ramp: a profile installed mid-run (join or
+// set-channel) starts drifting from its installation frame, not
+// retroactively from frame 0.
+type termState struct {
+	term      Terminal
+	rng       *rand.Rand
+	stat      TerminalStats
+	sync      syncAccum
+	active    bool
+	profSince int
 }
 
 // syncAccum collects per-terminal burst synchronization statistics from
@@ -176,68 +196,23 @@ func New(pl *payload.Payload, cfg Config, terminals []Terminal) (*Engine, error)
 	if plan.Carriers != cfg.Frame.Carriers {
 		return nil, fmt.Errorf("traffic: plan has %d carriers, frame has %d", plan.Carriers, cfg.Frame.Carriers)
 	}
-	seen := make(map[string]bool, len(terminals))
-	for _, t := range terminals {
-		if t.ID == "" || t.Model == nil {
-			return nil, errors.New("traffic: terminal needs an ID and a model")
-		}
-		if seen[t.ID] {
-			return nil, fmt.Errorf("traffic: duplicate terminal %q", t.ID)
-		}
-		seen[t.ID] = true
-		if t.Beam < 0 || t.Beam >= cfg.Frame.Carriers {
-			return nil, fmt.Errorf("traffic: terminal %q beam %d outside the %d-beam downlink", t.ID, t.Beam, cfg.Frame.Carriers)
-		}
-	}
 
 	e := &Engine{
-		pl:        pl,
-		tx:        payload.NewTransmitter(pl, plan),
-		sched:     modem.NewSlotScheduler(cfg.Frame),
-		cfg:       cfg,
-		terminals: terminals,
-		rngs:      make([]*rand.Rand, len(terminals)),
-		queues:    make([][]qpkt, cfg.Frame.Carriers),
-		grid:      make([][][]byte, cfg.Frame.Carriers),
-		termStat:  make([]TerminalStats, len(terminals)),
-		termSync:  make([]syncAccum, len(terminals)),
+		pl:     pl,
+		tx:     payload.NewTransmitter(pl, plan),
+		sched:  modem.NewSlotScheduler(cfg.Frame),
+		cfg:    cfg,
+		queues: make([][]qpkt, cfg.Frame.Carriers),
+		grid:   make([][][]byte, cfg.Frame.Carriers),
 	}
-	// An impaired population needs the full burst synchronization chain:
-	// feedforward CFO recovery before the UW search and residual phase
-	// tracking across the payload. A clean population keeps (or, after a
-	// previous engine's impaired run on the same payload, restores) the
-	// boot default — the legacy UW-phase-only chain — so clean-channel
-	// runs stay bit-identical to engines predating channel profiles. An
-	// explicitly configured payload is left alone; only engine-chosen
-	// defaults (SetSyncConfigAuto) are ever replaced.
-	impaired := false
 	for _, t := range terminals {
-		if t.Channel.Impaired() {
-			impaired = true
-			break
+		if err := e.admit(t); err != nil {
+			return nil, err
 		}
 	}
-	if !pl.SyncConfigExplicit() {
-		if impaired {
-			// The unique-word threshold is lifted above the legacy 0.6:
-			// the candidate search triples the per-slot UW scans, and a
-			// pure-noise scan's best metric tails past 0.7 often enough
-			// that the legacy threshold would false-lock, while true
-			// locks at the coded-regime Es/N0 stay above 0.82 (see the
-			// modem noise-rejection tests).
-			pl.SetSyncConfigAuto(modem.SyncConfig{UWThreshold: 0.7, FreqRecovery: true, PhaseTrack: true})
-		} else if pl.SyncConfigAuto() {
-			pl.SetSyncConfigAuto(modem.SyncConfig{})
-		}
-	}
-	for i := range e.rngs {
-		e.rngs[i] = rand.New(rand.NewSource(cfg.Seed + int64(i)*7919))
-	}
+	e.resolveSyncConfig()
 	for c := range e.grid {
 		e.grid[c] = make([][]byte, cfg.Frame.Slots)
-	}
-	for i, t := range terminals {
-		e.termStat[i] = TerminalStats{ID: t.ID, Model: t.Model.Name()}
 	}
 	e.met.QueueHighWater = make([]int, cfg.Frame.Carriers)
 	e.mods.New = func() any {
@@ -252,24 +227,187 @@ func New(pl *payload.Payload, cfg Config, terminals []Terminal) (*Engine, error)
 	return e, nil
 }
 
+// admit validates a terminal against the live population and joins it.
+func (e *Engine) admit(t Terminal) error {
+	if t.ID == "" || t.Model == nil {
+		return errors.New("traffic: terminal needs an ID and a model")
+	}
+	for _, ts := range e.terms {
+		if ts.active && ts.term.ID == t.ID {
+			return fmt.Errorf("traffic: duplicate terminal %q", t.ID)
+		}
+	}
+	if t.Beam < 0 || t.Beam >= e.cfg.Frame.Carriers {
+		return fmt.Errorf("traffic: terminal %q beam %d outside the %d-beam downlink", t.ID, t.Beam, e.cfg.Frame.Carriers)
+	}
+	e.terms = append(e.terms, &termState{
+		term:      t,
+		rng:       rand.New(rand.NewSource(e.cfg.Seed + e.rngSeq*7919)),
+		stat:      TerminalStats{ID: t.ID, Model: t.Model.Name()},
+		active:    true,
+		profSince: e.frame,
+	})
+	e.rngSeq++
+	return nil
+}
+
+// resolveSyncConfig re-resolves the payload's burst synchronization
+// chain against the current population. An impaired population needs
+// the full chain: feedforward CFO recovery before the UW search and
+// residual phase tracking across the payload. A clean population keeps
+// (or, after an impaired stretch — e.g. a fade that has cleared —
+// restores) the boot default, the legacy UW-phase-only chain, so
+// clean-channel runs stay bit-identical to engines predating channel
+// profiles. An explicitly configured payload is left alone; only
+// engine-chosen defaults (SetSyncConfigAuto) are ever replaced. It is
+// called at construction and whenever the population's impairments
+// change mid-run (join, leave, channel-profile update).
+func (e *Engine) resolveSyncConfig() {
+	if e.pl.SyncConfigExplicit() {
+		return
+	}
+	impaired := false
+	for _, ts := range e.terms {
+		if ts.active && ts.term.Channel.Impaired() {
+			impaired = true
+			break
+		}
+	}
+	if impaired {
+		// The unique-word threshold is lifted above the legacy 0.6:
+		// the candidate search triples the per-slot UW scans, and a
+		// pure-noise scan's best metric tails past 0.7 often enough
+		// that the legacy threshold would false-lock, while true
+		// locks at the coded-regime Es/N0 stay above 0.82 (see the
+		// modem noise-rejection tests).
+		e.pl.SetSyncConfigAuto(modem.SyncConfig{UWThreshold: 0.7, FreqRecovery: true, PhaseTrack: true})
+	} else if e.pl.SyncConfigAuto() {
+		e.pl.SetSyncConfigAuto(modem.SyncConfig{})
+	}
+}
+
+// AddTerminal joins a terminal to the live population. Call it only at
+// a frame boundary (between Step calls); the terminal issues its first
+// DAMA request on the next frame, with demand evaluated at the absolute
+// frame number. The join re-resolves the payload sync chain, so an
+// impaired newcomer switches an until-now clean population onto the
+// full burst synchronization chain.
+func (e *Engine) AddTerminal(t Terminal) error {
+	if err := e.admit(t); err != nil {
+		return err
+	}
+	e.resolveSyncConfig()
+	return nil
+}
+
+// RemoveTerminal departs a terminal at a frame boundary: its scheduler
+// holdings are released immediately, while packets it already got into
+// the downlink queues still drain (and still count toward its stats).
+// The departed terminal keeps its row in Report.PerTerminal.
+func (e *Engine) RemoveTerminal(id string) error {
+	ts, err := e.lookup(id)
+	if err != nil {
+		return err
+	}
+	ts.active = false
+	e.sched.Release(id)
+	e.resolveSyncConfig()
+	return nil
+}
+
+// SetTerminalChannel replaces a terminal's uplink channel profile at a
+// frame boundary (nil restores the ideal channel) — the scripted-fade /
+// Doppler-ramp hook. The profile's Doppler ramp is re-anchored at the
+// upcoming frame, so Drift means "start drifting from here" rather
+// than a retroactive jump of Drift×frames. The payload sync chain is
+// re-resolved, so the first impairing profile switches the demodulator
+// bank onto the full chain and the last clearing one restores the
+// legacy chain.
+func (e *Engine) SetTerminalChannel(id string, p *ChannelProfile) error {
+	ts, err := e.lookup(id)
+	if err != nil {
+		return err
+	}
+	ts.term.Channel = p
+	ts.profSince = e.frame
+	e.resolveSyncConfig()
+	return nil
+}
+
+// SetQueueDepth rebounds the per-beam downlink queues at a frame
+// boundary. A shrink does not evict packets already queued: the bound
+// applies to subsequent enqueues (and, under Backpressure, to
+// subsequent admission), so over-deep queues drain naturally.
+func (e *Engine) SetQueueDepth(depth int) error {
+	if depth < 1 {
+		return fmt.Errorf("traffic: queue depth %d, must be at least 1", depth)
+	}
+	e.cfg.QueueDepth = depth
+	return nil
+}
+
+// SetQueuePolicy switches the overload policy at a frame boundary.
+func (e *Engine) SetQueuePolicy(p DropPolicy) { e.cfg.Policy = p }
+
+// lookup finds an active terminal by ID.
+func (e *Engine) lookup(id string) (*termState, error) {
+	for _, ts := range e.terms {
+		if ts.active && ts.term.ID == id {
+			return ts, nil
+		}
+	}
+	return nil, fmt.Errorf("traffic: unknown terminal %q", id)
+}
+
+// Terminals returns the active population in join order.
+func (e *Engine) Terminals() []Terminal {
+	var out []Terminal
+	for _, ts := range e.terms {
+		if ts.active {
+			out = append(out, ts.term)
+		}
+	}
+	return out
+}
+
+// Config returns the engine configuration as currently in force
+// (queue depth and policy may have changed since construction).
+func (e *Engine) Config() Config { return e.cfg }
+
 // Frame returns the number of frames processed so far.
 func (e *Engine) Frame() int { return e.frame }
 
-// QueueDepth returns the packets currently queued for a beam.
-func (e *Engine) QueueDepth(beam int) int { return len(e.queues[beam]) }
+// QueueDepth returns the packets currently queued for a beam, 0 for a
+// beam outside the downlink (no panic: observers probe freely).
+func (e *Engine) QueueDepth(beam int) int {
+	if beam < 0 || beam >= len(e.queues) {
+		return 0
+	}
+	return len(e.queues[beam])
+}
 
 // RunFrames advances the closed loop by n consecutive frames. It may be
 // called repeatedly — e.g. around a ground-initiated reconfiguration —
-// with queues, scheduler state and metrics carrying over.
+// with queues, scheduler state and metrics carrying over. A
+// non-positive n is an explicit error rather than a silent no-op.
 func (e *Engine) RunFrames(n int) error {
-	start := time.Now()
-	defer func() { e.wall += time.Since(start) }()
+	if n <= 0 {
+		return fmt.Errorf("traffic: RunFrames(%d): frame count must be positive", n)
+	}
 	for i := 0; i < n; i++ {
-		if err := e.step(); err != nil {
+		if err := e.Step(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// Step advances the closed loop by exactly one frame — the unit the
+// scenario runtime schedules events and snapshots metrics around.
+func (e *Engine) Step() error {
+	start := time.Now()
+	defer func() { e.wall += time.Since(start) }()
+	return e.step()
 }
 
 // step runs one frame through the loop.
@@ -302,8 +440,10 @@ func (e *Engine) step() error {
 // clipped to the remaining frame capacity (and, under Backpressure, to
 // the room left in its destination beam queue).
 func (e *Engine) dama(f, k int) []uplinkCell {
-	for _, t := range e.terminals {
-		e.sched.Release(t.ID)
+	for _, ts := range e.terms {
+		if ts.active {
+			e.sched.Release(ts.term.ID)
+		}
 	}
 	var room []int
 	if e.cfg.Policy == Backpressure {
@@ -313,10 +453,14 @@ func (e *Engine) dama(f, k int) []uplinkCell {
 		}
 	}
 	var cells []uplinkCell
-	for ti, t := range e.terminals {
+	for _, ts := range e.terms {
+		if !ts.active {
+			continue
+		}
+		t := ts.term
 		d := t.Model.Demand(f)
 		e.met.OfferedCells += d
-		e.termStat[ti].OfferedCells += d
+		ts.stat.OfferedCells += d
 		if d == 0 {
 			continue
 		}
@@ -344,14 +488,13 @@ func (e *Engine) dama(f, k int) []uplinkCell {
 			continue
 		}
 		e.met.GrantedCells += len(asgs)
-		e.termStat[ti].GrantedCells += len(asgs)
+		ts.stat.GrantedCells += len(asgs)
 		for _, a := range asgs {
 			info := make([]byte, k)
-			rng := e.rngs[ti]
 			for i := range info {
-				info[i] = byte(rng.Intn(2))
+				info[i] = byte(ts.rng.Intn(2))
 			}
-			cells = append(cells, uplinkCell{asg: a, term: ti, info: info})
+			cells = append(cells, uplinkCell{asg: a, term: ts, info: info})
 		}
 	}
 	return cells
@@ -382,14 +525,14 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 	pipeline.ForEach(len(cells), func(i int) {
 		c := cells[i]
 		asgs[i] = c.asg
-		beams[i] = e.terminals[c.term].Beam
+		beams[i] = c.term.term.Beam
 		coded := codec.Encode(c.info)
 		padded := make([]byte, budget)
 		copy(padded, coded)
 		mod := e.mods.Get().(*modem.BurstModulator)
 		wave := mod.Modulate(padded)
 		e.mods.Put(mod)
-		prof := e.terminals[c.term].Channel
+		prof := c.term.term.Channel
 		if noisy || prof != nil {
 			cellEsN0 := esN0
 			if prof != nil && prof.EsN0dB != 0 {
@@ -402,7 +545,10 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 				// Frequency figures are per symbol and the channel works
 				// per sample, so CFO/Drift divide by the oversampling;
 				// Timing is already a sample offset and passes through.
-				ch.FreqOffset = (prof.CFO + prof.Drift*float64(f)) / uplinkSPS
+				// Drift ramps from the frame the profile was installed
+				// (0 for a boot-time population, so PR 3 runs are
+				// unchanged).
+				ch.FreqOffset = (prof.CFO + prof.Drift*float64(f-c.term.profSince)) / uplinkSPS
 				ch.PhaseOffset = prof.Phase
 				ch.TimingOffset = prof.Timing
 				if prof.Gain != 0 {
@@ -427,7 +573,7 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 		// diagnostics; a burst lost to a service outage would otherwise
 		// pin the terminal's worst-UW stat to zero.
 		if r.Sync.Scanned {
-			sa := &e.termSync[cells[i].term]
+			sa := &cells[i].term.sync
 			sa.bursts++
 			af := math.Abs(r.Sync.FreqEst)
 			sa.freqAbsSum += af
@@ -443,7 +589,7 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 			continue
 		}
 		e.met.UplinkBitErrs += fec.CountBitErrors(cells[i].info, r.Bits[:k])
-		e.termStat[cells[i].term].UplinkBits += k
+		cells[i].term.stat.UplinkBits += k
 
 		b := beams[i]
 		pkts := drained[b]
@@ -499,7 +645,7 @@ func (e *Engine) downlink(f int, codec fec.Codec) error {
 			}
 			e.met.DeliveredPackets++
 			e.met.DeliveredBits += len(p.bits)
-			e.termStat[p.term].DeliveredBits += len(p.bits)
+			p.term.stat.DeliveredBits += len(p.bits)
 		}
 		e.queues[b] = append(e.queues[b][:0], q[popped:]...)
 	}
@@ -558,7 +704,18 @@ func (e *Engine) verify(wide dsp.Vec, codec fec.Codec) {
 	}
 }
 
-// Report snapshots the run metrics.
+// Metrics returns a snapshot of the raw run counters — cheap enough to
+// take every frame (no per-terminal reduction), which is how the
+// scenario runtime computes per-frame deltas for its observers.
+func (e *Engine) Metrics() Report {
+	r := e.met
+	r.LatencySum = e.latSum
+	r.QueueHighWater = append([]int(nil), e.met.QueueHighWater...)
+	return r
+}
+
+// Report snapshots the run metrics, including the per-terminal
+// reduction. Departed terminals keep their row (in join order).
 func (e *Engine) Report() *Report {
 	r := e.met
 	r.Verified = e.cfg.Verify
@@ -569,16 +726,17 @@ func (e *Engine) Report() *Report {
 		r.LatencyMean = float64(e.latSum) / float64(r.DeliveredPackets)
 	}
 	r.QueueHighWater = append([]int{}, e.met.QueueHighWater...)
-	r.PerTerminal = append([]TerminalStats{}, e.termStat...)
-	for i := range r.PerTerminal {
-		sa := e.termSync[i]
-		ts := &r.PerTerminal[i]
-		ts.SyncBursts = sa.bursts
+	r.PerTerminal = make([]TerminalStats, len(e.terms))
+	for i, tsrc := range e.terms {
+		st := tsrc.stat
+		sa := tsrc.sync
+		st.SyncBursts = sa.bursts
 		if sa.bursts > 0 {
-			ts.MeanAbsCFO = sa.freqAbsSum / float64(sa.bursts)
-			ts.MaxAbsCFO = sa.freqAbsMax
-			ts.MinUWMetric = sa.uwMin
+			st.MeanAbsCFO = sa.freqAbsSum / float64(sa.bursts)
+			st.MaxAbsCFO = sa.freqAbsMax
+			st.MinUWMetric = sa.uwMin
 		}
+		r.PerTerminal[i] = st
 	}
 	return &r
 }
