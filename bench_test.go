@@ -9,6 +9,7 @@ import (
 	"io"
 	"math"
 	"math/rand"
+	"sync"
 	"testing"
 
 	"repro/internal/dsp"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/modem"
 	"repro/internal/payload"
 	"repro/internal/scenario"
+	"repro/internal/switchfab"
 	"repro/internal/traffic"
 )
 
@@ -406,6 +408,140 @@ func BenchmarkScenarioSession(b *testing.B) {
 	}
 }
 
+// lockedMapSwitch is the seed's single-map switch design plus the one
+// global mutex it never had — the baseline BenchmarkSwitchFabric holds
+// the sharded fabric against. Every router serializes on the same lock
+// regardless of beam.
+type lockedMapSwitch struct {
+	mu     sync.Mutex
+	queues map[int][][]byte
+}
+
+func (s *lockedMapSwitch) route(beam int, pkt []byte) {
+	s.mu.Lock()
+	cp := append([]byte{}, pkt...)
+	s.queues[beam] = append(s.queues[beam], cp)
+	s.mu.Unlock()
+}
+
+func (s *lockedMapSwitch) drain(beam int) [][]byte {
+	s.mu.Lock()
+	out := s.queues[beam]
+	delete(s.queues, beam)
+	s.mu.Unlock()
+	return out
+}
+
+// BenchmarkSwitchFabric prices the switching stage under concurrent
+// routers: W workers route a fixed batch of packets across 6 beams,
+// the downlink side empties the queues, once on the sharded fabric
+// (per-beam locks, preallocated rings, zero-copy typed packets) and
+// once on a globally-locked single-map switch (the seed design made
+// merely thread-safe). On multi-core hardware the sharded route path
+// scales with min(workers, beams) while the single lock serializes;
+// the fabric also drains without the per-frame slice allocations.
+func BenchmarkSwitchFabric(b *testing.B) {
+	const beams = 6
+	const batch = 960 // packets routed per op
+	pkt := make([]byte, 45)
+	for _, workers := range []int{1, 4} {
+		b.Run(fmt.Sprintf("sharded-%dworkers", workers), func(b *testing.B) {
+			f := switchfab.New(beams, 0)
+			f.Adopt(batch / beams)
+			emit := func(switchfab.Packet) bool { return true }
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					w := w
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for j := 0; j < batch/workers; j++ {
+							f.RoutePacket((w+j)%beams, switchfab.Packet{Bits: pkt})
+						}
+					}()
+				}
+				wg.Wait()
+				for bm := 0; bm < beams; bm++ {
+					f.Schedule(switchfab.FIFO{}, bm, batch, emit)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("single-lock-%dworkers", workers), func(b *testing.B) {
+			s := &lockedMapSwitch{queues: make(map[int][][]byte)}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					w := w
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for j := 0; j < batch/workers; j++ {
+							s.route((w+j)%beams, pkt)
+						}
+					}()
+				}
+				wg.Wait()
+				for bm := 0; bm < beams; bm++ {
+					s.drain(bm)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkSchedulerFill prices one beam-frame of downlink slot fill
+// (route 4 packets across the classes, schedule 4 slots out) per
+// scheduler — the FIFO-to-DRR delta is the cost of QoS on the
+// steady-state fill path, and the 0 B/op columns document that the
+// route→schedule→fill path stays allocation-free.
+func BenchmarkSchedulerFill(b *testing.B) {
+	drr, err := switchfab.NewDRR(4, 2, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pkt := make([]byte, 45)
+	for _, tc := range []struct {
+		name  string
+		sched switchfab.Scheduler
+	}{
+		{"fifo", switchfab.FIFO{}},
+		{"strict", switchfab.StrictPriority{BEFloor: 1}},
+		{"drr", drr},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			const beams, slots = 3, 4
+			f := switchfab.New(beams, 0)
+			f.Adopt(16)
+			emit := func(switchfab.Packet) bool { return true }
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for bm := 0; bm < beams; bm++ {
+					for s := 0; s < slots; s++ {
+						f.RoutePacket(bm, switchfab.Packet{Bits: pkt, Class: switchfab.Class(s % switchfab.NumClasses)})
+					}
+					f.Schedule(tc.sched, bm, slots, emit)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE13_QoS regenerates the QoS switching study at reduced size.
+func BenchmarkE13_QoS(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := experiments.DefaultE13Config()
+		cfg.Frames = 8
+		res := experiments.E13QoS(cfg)
+		res.Table.Print(io.Discard)
+	}
+}
+
 // BenchmarkE10_FramePipeline regenerates the E10 latency/speedup table
 // at reduced size.
 func BenchmarkE10_FramePipeline(b *testing.B) {
@@ -415,7 +551,7 @@ func BenchmarkE10_FramePipeline(b *testing.B) {
 	}
 }
 
-// Ablation benches for the design choices called out in DESIGN.md §7.
+// Ablation benches for the design choices called out in DESIGN.md §8.
 
 func BenchmarkAblation_TimingRecovery(b *testing.B) {
 	for i := 0; i < b.N; i++ {

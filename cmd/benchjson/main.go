@@ -4,13 +4,16 @@
 // tracked across PRs instead of living in commit messages. The default
 // set covers the receive/transmit pipelines, the clean traffic engine
 // and its impaired twin (the burst-sync-chain overhead is the delta
-// between the two), and the scenario-session presets riding the same
+// between the two), the scenario-session presets riding the same
 // populations (the session-layer overhead is the delta to the raw
-// engine benches). CI runs the 1x smoke variant on every push; full
-// runs use the go test defaults:
+// engine benches), and the switching fabric (sharded vs single-lock
+// routing under concurrent workers, plus the per-scheduler slot-fill
+// cost whose 0 B/op column pins the allocation-free fill path). CI
+// runs the 1x smoke variant on every push; full runs use the go test
+// defaults:
 //
-//	go run ./cmd/benchjson -out BENCH_PR4.json
-//	go run ./cmd/benchjson -benchtime 1x -out BENCH_PR4.json   # smoke
+//	go run ./cmd/benchjson -out BENCH_PR5.json
+//	go run ./cmd/benchjson -benchtime 1x -out BENCH_PR5.json   # smoke
 package main
 
 import (
@@ -53,11 +56,11 @@ type File struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	pattern := flag.String("bench", "BenchmarkProcessFrame|BenchmarkTransmitFrameGrid|BenchmarkTrafficEngine|BenchmarkScenarioSession|ProcessInto|BenchmarkE10",
-		"benchmark regexp (the pipeline + traffic + scenario set by default)")
+	pattern := flag.String("bench", "BenchmarkProcessFrame|BenchmarkTransmitFrameGrid|BenchmarkTrafficEngine|BenchmarkScenarioSession|BenchmarkSwitchFabric|BenchmarkSchedulerFill|ProcessInto|BenchmarkE10",
+		"benchmark regexp (the pipeline + traffic + scenario + switch-fabric set by default)")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (e.g. 1x for a smoke run)")
 	pkgs := flag.String("pkgs", ".,./internal/dsp", "comma-separated packages to bench")
-	out := flag.String("out", "BENCH_PR4.json", "output file")
+	out := flag.String("out", "BENCH_PR5.json", "output file")
 	flag.Parse()
 
 	file := File{

@@ -19,7 +19,7 @@ import (
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced sample sizes (~10s total)")
-	only := flag.String("only", "", "run a single experiment (E1..E12, ablations)")
+	only := flag.String("only", "", "run a single experiment (E1..E13, ablations)")
 	flag.Parse()
 
 	run := func(id string) bool {
@@ -104,6 +104,19 @@ func main() {
 		res.Table.Print(out)
 		if !res.ZeroErrors || !res.AcqOK {
 			fmt.Fprintf(out, "   E12 FAILED: zeroErrors=%v acqOK=%v\n", res.ZeroErrors, res.AcqOK)
+			os.Exit(1)
+		}
+	}
+	if run("E13") {
+		cfg := experiments.DefaultE13Config()
+		if *quick {
+			cfg.Frames = 16
+		}
+		res := experiments.E13QoS(cfg)
+		res.Table.Print(out)
+		if !res.BitExact || !res.EFProtected || !res.OverloadAbsorbed {
+			fmt.Fprintf(out, "   E13 FAILED: bitExact=%v efProtected=%v overloadAbsorbed=%v\n",
+				res.BitExact, res.EFProtected, res.OverloadAbsorbed)
 			os.Exit(1)
 		}
 	}

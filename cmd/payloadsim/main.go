@@ -127,7 +127,7 @@ func main() {
 	if totalBits > 0 {
 		fmt.Printf("BER: %d/%d = %.3e\n", errBits, totalBits, float64(errBits)/float64(totalBits))
 	}
-	fmt.Printf("switch: %d packets routed across beams %v\n", pl.Switch().Routed, pl.Switch().Beams())
+	fmt.Printf("switch: %d packets routed across beams %v\n", pl.Switch().Routed(), pl.Switch().Beams())
 }
 
 func infoBitsFor(c fec.Codec, budget int) int {

@@ -17,9 +17,11 @@
 //
 //	trafficsim -list-presets
 //	trafficsim -preset swap-under-load
+//	trafficsim -preset qos-priority
 //	trafficsim -scenario mission.json -frames 50
 //	trafficsim -frames 100 -carriers 3 -slots 4 -codec conv-r1/2-k9 -verify
 //	trafficsim -frames 40 -ebn0 6 -cfo 0.1 -timing-spread -phase-spread -verify
+//	trafficsim -frames 40 -class mix -scheduler drr -drr-weights 4,2,1 -verify
 package main
 
 import (
@@ -46,8 +48,12 @@ func main() {
 	model := flag.String("model", "mix", "population model: cbr, onoff, hotspot or mix")
 	terminals := flag.Int("terminals", 4, "terminal count")
 	cells := flag.Int("cells", 1, "cells per frame a terminal demands (cbr/onoff/hotspot base)")
-	queue := flag.Int("queue", 16, "per-beam downlink queue depth (packets)")
+	queue := flag.Int("queue", 16, "per-(beam, class) downlink queue depth (packets)")
 	policy := flag.String("policy", "drop-tail", "overload policy: drop-tail or backpressure")
+	scheduler := flag.String("scheduler", "fifo", "downlink scheduler: fifo, strict or drr")
+	beFloor := flag.Int("be-floor", 0, "best-effort slot floor per beam per frame (strict scheduler)")
+	drrWeights := flag.String("drr-weights", "4,2,1", "DRR class weights as ef,af,be (drr scheduler)")
+	class := flag.String("class", "", "traffic class for the built population: be, af, ef or mix (rotates ef/af/be)")
 	ebn0 := flag.Float64("ebn0", 9, "uplink Eb/N0 in dB (0 = noiseless)")
 	verify := flag.Bool("verify", false, "ground-demodulate the downlink and check every bit")
 	seed := flag.Int64("seed", 1, "random seed")
@@ -129,6 +135,39 @@ func main() {
 	}
 	if fromFlags || set["cfo"] || set["drift"] || set["timing-spread"] || set["phase-spread"] {
 		scenario.ImpairSpec(spec.Terminals, *cfoMax, *drift, *timingSpread, *phaseSpread)
+	}
+	// Scheduler flags build a declarative scheduler onto the spec; a
+	// bare default keeps a preset's (e.g. qos-priority's strict+floor).
+	// A parameter flag alone implies its scheduler, so -be-floor means
+	// strict and -drr-weights means drr without restating -scheduler.
+	if set["scheduler"] || set["be-floor"] || set["drr-weights"] {
+		kind := *scheduler
+		if !set["scheduler"] {
+			if set["drr-weights"] {
+				kind = "drr"
+			} else {
+				kind = "strict"
+			}
+		}
+		ss := &scenario.SchedulerSpec{Kind: kind}
+		switch kind {
+		case "strict":
+			ss.BEFloor = *beFloor
+		case "drr":
+			if _, err := fmt.Sscanf(*drrWeights, "%d,%d,%d", &ss.WeightEF, &ss.WeightAF, &ss.WeightBE); err != nil {
+				log.Fatalf("trafficsim: -drr-weights %q: want ef,af,be integers", *drrWeights)
+			}
+		}
+		spec.Traffic.Scheduler = ss
+	}
+	if set["class"] {
+		for i := range spec.Terminals {
+			c := *class
+			if c == "mix" {
+				c = []string{"ef", "af", "be"}[i%3]
+			}
+			spec.Terminals[i].Class = c
+		}
 	}
 	// A truncated run must not strand scripted events past the horizon
 	// in the banner; they simply never fire.

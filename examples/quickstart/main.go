@@ -65,4 +65,10 @@ func main() {
 	codec, _ := sess.Payload().Codec()
 	fmt.Printf("\ndecoder now %s on the same hardware slot; %d packets delivered, %d bit errors end to end\n",
 		codec.Name(), rep.DeliveredPackets, rep.UplinkBitErrs+rep.DownlinkBitErrs)
+
+	// Where next: `trafficsim -list-presets` names the other missions —
+	// try the `qos-priority` preset to watch the sharded switching
+	// fabric hold EF voice traffic at zero drops through a best-effort
+	// flash crowd (strict-priority downlink scheduling with a BE floor;
+	// the run report breaks queues, drops and latency down per class).
 }

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/scenario"
+	"repro/internal/switchfab"
+	"repro/internal/traffic"
+)
+
+// E13 exercises the sharded QoS switching fabric end to end: the
+// qos-priority scenario aims an EF voice trickle, an AF video source
+// and a best-effort flash crowd at one beam of the regenerative
+// payload, and the downlink scheduler decides who rides through the
+// overload. Under strict priority with a one-slot best-effort floor,
+// the priority class holds zero drops and zero queueing delay while
+// best effort absorbs the whole hotspot (tail drops against its own
+// bounded class queue, backlog to the high-water mark) without
+// starving; the class-blind FIFO twin run shows what the fabric's
+// scheduler buys — EF queued behind the crowd's backlog. Both runs are
+// ground-verified bit for bit, so the QoS layer demonstrably costs no
+// signal integrity.
+
+// E13Config parameterizes the QoS study.
+type E13Config struct {
+	Frames int
+	Seed   int64
+}
+
+// DefaultE13Config returns the full-size run: the qos-priority preset's
+// 40 frames (five flash-crowd surges).
+func DefaultE13Config() E13Config { return E13Config{Frames: 40, Seed: 41} }
+
+// E13Result carries the QoS study outputs.
+type E13Result struct {
+	Table *Table
+	// Strict is the qos-priority run (strict priority, BE floor 1);
+	// FIFO is the identical load under the class-blind scheduler.
+	Strict, FIFO *traffic.Report
+	// EFProtected: the strict run held EF at zero drops (queue and
+	// re-encode) and zero queueing delay.
+	EFProtected bool
+	// OverloadAbsorbed: best effort took the hotspot — queue drops
+	// against its class bound — while the floor kept it delivering.
+	OverloadAbsorbed bool
+	// FIFOContrast: the class-blind twin queued EF behind the crowd
+	// (non-zero EF latency), so the protection is the scheduler's doing.
+	FIFOContrast bool
+	// BitExact: both runs ground-verified with zero uplink/downlink
+	// losses and bit errors.
+	BitExact bool
+}
+
+// e13Run executes one scheduler variant of the study spec.
+func e13Run(spec scenario.Spec) *traffic.Report {
+	sess, err := scenario.NewSession(spec)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := sess.Run(context.Background())
+	if err != nil {
+		panic(err)
+	}
+	return rep
+}
+
+// E13QoS runs the QoS switching study.
+func E13QoS(cfg E13Config) *E13Result {
+	spec, err := scenario.Preset("qos-priority")
+	if err != nil {
+		panic(err)
+	}
+	spec.Frames = cfg.Frames
+	spec.Traffic.Seed = cfg.Seed
+
+	fifoSpec := spec
+	fifoSpec.Traffic.Scheduler = nil // class-blind arrival order
+
+	strict := e13Run(spec)
+	fifo := e13Run(fifoSpec)
+
+	clean := func(r *traffic.Report) bool {
+		return r.UplinkFailures == 0 && r.UplinkBitErrs == 0 &&
+			r.DownlinkLost == 0 && r.DownlinkBitErrs == 0
+	}
+	sEF := strict.PerClass[switchfab.ClassEF]
+	sBE := strict.PerClass[switchfab.ClassBE]
+	fEF := fifo.PerClass[switchfab.ClassEF]
+	res := &E13Result{
+		Strict:           strict,
+		FIFO:             fifo,
+		EFProtected:      sEF.DroppedQueue == 0 && sEF.DroppedReencode == 0 && sEF.LatencyMax == 0,
+		OverloadAbsorbed: sBE.DroppedQueue > 0 && sBE.DeliveredPackets > 0,
+		FIFOContrast:     fEF.LatencyMax > sEF.LatencyMax,
+		BitExact:         clean(strict) && clean(fifo),
+	}
+
+	t := &Table{
+		Title: f("E13: QoS switching fabric under a best-effort flash crowd (%d frames, strict+be1 vs fifo)",
+			cfg.Frames),
+		Columns: []string{"routed", "delivered", "queue drops", "latency mean", "latency max", "high water"},
+	}
+	for _, run := range []struct {
+		label string
+		rep   *traffic.Report
+	}{{"strict+be1", strict}, {"fifo", fifo}} {
+		for c := switchfab.NumClasses - 1; c >= 0; c-- { // EF first
+			cs := run.rep.PerClass[c]
+			if cs.RoutedPackets == 0 && cs.DroppedQueue == 0 {
+				continue
+			}
+			t.Rows = append(t.Rows, Row{f("%s %s", run.label, cs.Class), []string{
+				f("%d", cs.RoutedPackets), f("%d", cs.DeliveredPackets),
+				f("%d", cs.DroppedQueue), f("%.2f", cs.LatencyMean),
+				f("%d", cs.LatencyMax), f("%d", cs.HighWater)}})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"one beam carries EF cbr-1 + AF onoff + BE hotspot (surge 6 over 4 slots); per-class queues bounded at 6 packets",
+		f("strict+be1: EF protected=%v (zero drops, zero queueing delay), BE absorbs the overload=%v without starving",
+			res.EFProtected, res.OverloadAbsorbed),
+		f("fifo twin: EF max latency %d frames behind the crowd's backlog (strict: %d) — the delta is the scheduler's doing",
+			fEF.LatencyMax, sEF.LatencyMax),
+		"both runs ground-verified bit for bit: the QoS layer costs no signal integrity")
+	res.Table = t
+	return res
+}

@@ -1,0 +1,29 @@
+package experiments
+
+import (
+	"io"
+	"testing"
+)
+
+// The E13 claims at reduced size: strict priority protects EF through
+// the flash crowd, best effort absorbs the overload without starving,
+// the FIFO twin shows the contrast, and both loops stay bit-exact.
+func TestE13QoSProtectsPriorityTraffic(t *testing.T) {
+	cfg := DefaultE13Config()
+	cfg.Frames = 16 // two surges — enough to overflow the BE queue
+	res := E13QoS(cfg)
+	res.Table.Print(io.Discard)
+	if !res.BitExact {
+		t.Fatalf("QoS runs not bit-exact: strict %+v fifo %+v", res.Strict, res.FIFO)
+	}
+	if !res.EFProtected {
+		t.Fatalf("EF not protected under strict priority: %+v", res.Strict.PerClass)
+	}
+	if !res.OverloadAbsorbed {
+		t.Fatalf("BE did not absorb the overload: %+v", res.Strict.PerClass)
+	}
+	if !res.FIFOContrast {
+		t.Fatalf("FIFO twin shows no contrast: strict %+v fifo %+v",
+			res.Strict.PerClass, res.FIFO.PerClass)
+	}
+}

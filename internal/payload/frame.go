@@ -4,6 +4,7 @@ import (
 	"repro/internal/fec"
 	"repro/internal/modem"
 	"repro/internal/pipeline"
+	"repro/internal/switchfab"
 )
 
 // Frame-level MF-TDMA reception: the return link of Fig 2 is organized
@@ -26,9 +27,26 @@ type BurstReceipt struct {
 	// acquisition behaviour under channel impairments.
 	Sync SyncInfo
 	// Bits holds the decoded info bits when the receiving call also ran
-	// the DECOD stage (ReceiveFrameAndRoute); nil otherwise.
+	// the DECOD stage (ReceiveFrameAndRoute); nil otherwise. On the QoS
+	// route path the slice is shared with the packet queued in the
+	// switching fabric — callers may read it but must not mutate it.
 	Bits []byte
 	Err  error
+}
+
+// RouteMeta describes where and how one decoded burst enters the
+// switching fabric on the QoS route path: the destination beam, the
+// traffic class the downlink scheduler keys on, an opaque terminal
+// token for delivery attribution, and the ingress frame stamp for
+// latency accounting. InfoBits > 0 trims the decoded bits to the
+// codeword's info length before routing (the engine's k); 0 routes
+// every decoded bit.
+type RouteMeta struct {
+	Beam     int
+	Class    switchfab.Class
+	Term     any
+	Ingress  int
+	InfoBits int
 }
 
 // ReceiveFrame demodulates the assigned cells of an MF-TDMA frame. The
@@ -57,19 +75,14 @@ func (p *Payload) ReceiveFrame(fc *modem.FrameComposer, assignments []modem.Slot
 	return out
 }
 
-// ReceiveFrameAndRoute runs the full regenerative receive path over the
-// assigned cells of an MF-TDMA frame: every cell is demodulated and
-// decoded concurrently on the pipeline worker pool (same ownership
-// contract as ReceiveFrame), then the decoded packets are routed to
-// beams[i] strictly in assignment order after the barrier, so switch
-// contents are deterministic and bit-identical to a sequential loop.
-// Failed cells (burst not found, service down mid-reconfiguration, short
-// codeword) carry their error in the receipt and route nothing — the
-// traffic engine counts them as uplink losses.
-func (p *Payload) ReceiveFrameAndRoute(fc *modem.FrameComposer, assignments []modem.SlotAssignment, beams []int) []BurstReceipt {
-	if len(beams) != len(assignments) {
-		panic("payload: one destination beam per assignment required")
-	}
+// receiveFrameDecode runs the DEMOD and DECOD stages over the assigned
+// cells concurrently on the pipeline worker pool — the shared core of
+// both routing variants. Routing happens afterwards, in the caller,
+// strictly in assignment order: the fabric is safe under concurrent
+// routers, but in-frame routing stays post-barrier so queue contents
+// are deterministic (schedule-independent), exactly like the rest of
+// the pipeline contract.
+func (p *Payload) receiveFrameDecode(fc *modem.FrameComposer, assignments []modem.SlotAssignment) []BurstReceipt {
 	out := make([]BurstReceipt, len(assignments))
 	pipeline.ForEach(len(assignments), func(i int) {
 		a := assignments[i]
@@ -93,9 +106,24 @@ func (p *Payload) ReceiveFrameAndRoute(fc *modem.FrameComposer, assignments []mo
 		r.Bits = bits
 		out[i] = r
 	})
-	// Route after the barrier, in assignment order: the switch is shared
-	// state, so routing must not race the workers or follow completion
-	// order.
+	return out
+}
+
+// ReceiveFrameAndRoute runs the full regenerative receive path over the
+// assigned cells of an MF-TDMA frame: every cell is demodulated and
+// decoded concurrently on the pipeline worker pool (same ownership
+// contract as ReceiveFrame), then the decoded packets are routed to
+// beams[i] — packed, unmarked (best effort) — strictly in assignment
+// order after the barrier, so fabric contents are deterministic and
+// bit-identical to a sequential loop. Failed cells (burst not found,
+// service down mid-reconfiguration, short codeword) carry their error
+// in the receipt and route nothing. QoS callers use
+// ReceiveFrameAndRouteQoS instead.
+func (p *Payload) ReceiveFrameAndRoute(fc *modem.FrameComposer, assignments []modem.SlotAssignment, beams []int) []BurstReceipt {
+	if len(beams) != len(assignments) {
+		panic("payload: one destination beam per assignment required")
+	}
+	out := p.receiveFrameDecode(fc, assignments)
 	for i := range out {
 		if out[i].Bits == nil {
 			continue
@@ -105,7 +133,55 @@ func (p *Payload) ReceiveFrameAndRoute(fc *modem.FrameComposer, assignments []mo
 			out[i].Err = ErrServiceDown
 			continue
 		}
+		if err := p.checkBeam(beams[i]); err != nil {
+			out[i].Bits = nil
+			out[i].Err = err
+			continue
+		}
 		p.sw.Route(beams[i], fec.PackBits(out[i].Bits))
+	}
+	return out
+}
+
+// ReceiveFrameAndRouteQoS is ReceiveFrameAndRoute with full routing
+// metadata: each decoded burst enters the switching fabric as a typed
+// packet carrying its traffic class, terminal token and ingress frame,
+// trimmed to metas[i].InfoBits info bits and routed un-packed (the
+// downlink scheduler hands the very same bit slice to the transmit
+// grid, so there is no pack/unpack round trip on the sustained-load hot
+// path). Routing order and failure semantics match ReceiveFrameAndRoute;
+// a packet tail-dropped by a full class queue is counted by the fabric,
+// not reflected in the receipt (the burst itself was received fine).
+func (p *Payload) ReceiveFrameAndRouteQoS(fc *modem.FrameComposer, assignments []modem.SlotAssignment, metas []RouteMeta) []BurstReceipt {
+	if len(metas) != len(assignments) {
+		panic("payload: one route meta per assignment required")
+	}
+	out := p.receiveFrameDecode(fc, assignments)
+	for i := range out {
+		if out[i].Bits == nil {
+			continue
+		}
+		if !p.cs.FunctionHealthy(FuncSwitch) {
+			out[i].Bits = nil
+			out[i].Err = ErrServiceDown
+			continue
+		}
+		m := metas[i]
+		if err := p.checkBeam(m.Beam); err != nil {
+			out[i].Bits = nil
+			out[i].Err = err
+			continue
+		}
+		bits := out[i].Bits
+		if m.InfoBits > 0 && m.InfoBits < len(bits) {
+			bits = bits[:m.InfoBits]
+		}
+		p.sw.RoutePacket(m.Beam, switchfab.Packet{
+			Bits:    bits,
+			Class:   m.Class,
+			Term:    m.Term,
+			Ingress: m.Ingress,
+		})
 	}
 	return out
 }

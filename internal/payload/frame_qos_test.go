@@ -1,0 +1,150 @@
+package payload
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/fec"
+	"repro/internal/modem"
+	"repro/internal/switchfab"
+)
+
+// composeQoSFrame builds a small MF-TDMA frame with one burst per
+// carrier and returns the assignments plus the encoded info bits.
+func composeQoSFrame(t *testing.T, pl *Payload, codec fec.Codec, infoLen int, seed int64) (*modem.FrameComposer, []modem.SlotAssignment, [][]byte) {
+	t.Helper()
+	cfg := modem.FrameConfig{Carriers: 3, Slots: 2, SlotSymbols: 512, GuardSymbols: 16}
+	fc := modem.NewFrameComposer(cfg, 4)
+	mod := modem.NewBurstModulator(pl.BurstFormat(), 0.35, 4, 10)
+	rng := rand.New(rand.NewSource(seed))
+	var asgs []modem.SlotAssignment
+	var infos [][]byte
+	for c := 0; c < cfg.Carriers; c++ {
+		info := make([]byte, infoLen)
+		for i := range info {
+			info[i] = byte(rng.Intn(2))
+		}
+		coded := codec.Encode(info)
+		padded := make([]byte, pl.BurstFormat().PayloadBits())
+		copy(padded, coded)
+		a := modem.SlotAssignment{Carrier: c, Slot: c % cfg.Slots}
+		fc.PlaceBurst(a, mod.Modulate(padded))
+		asgs = append(asgs, a)
+		infos = append(infos, info)
+	}
+	return fc, asgs, infos
+}
+
+// The QoS route path must enqueue typed packets: class, terminal token
+// and ingress stamp preserved, bits trimmed to the codeword's info
+// length and bit-identical to the legacy packed path.
+func TestReceiveFrameAndRouteQoSMetadata(t *testing.T) {
+	const infoLen = 180
+	pl, codec := newTDMAPayload(t, 3, "conv-r1/2-k9", infoLen)
+	fc, asgs, infos := composeQoSFrame(t, pl, codec, infoLen, 23)
+
+	type token struct{ id string }
+	terms := []*token{{"a"}, {"b"}, {"c"}}
+	classes := []switchfab.Class{switchfab.ClassEF, switchfab.ClassBE, switchfab.ClassAF}
+	metas := make([]RouteMeta, len(asgs))
+	for i := range metas {
+		metas[i] = RouteMeta{Beam: i, Class: classes[i], Term: terms[i], Ingress: 7 + i, InfoBits: infoLen}
+	}
+	receipts := pl.ReceiveFrameAndRouteQoS(fc, asgs, metas)
+	for i, r := range receipts {
+		if r.Err != nil {
+			t.Fatalf("cell %v: %v", r.Assignment, r.Err)
+		}
+		if errs := fec.CountBitErrors(infos[i], r.Bits[:infoLen]); errs != 0 {
+			t.Fatalf("cell %v: %d bit errors", r.Assignment, errs)
+		}
+	}
+	for i := range metas {
+		if got := pl.Switch().ClassQueueDepth(i, classes[i]); got != 1 {
+			t.Fatalf("beam %d class %s holds %d packets, want 1", i, classes[i], got)
+		}
+		var pkt switchfab.Packet
+		n := pl.Switch().Schedule(switchfab.FIFO{}, i, 1, func(p switchfab.Packet) bool {
+			pkt = p
+			return true
+		})
+		if n != 1 {
+			t.Fatalf("beam %d scheduled %d packets", i, n)
+		}
+		if len(pkt.Bits) != infoLen {
+			t.Fatalf("beam %d packet carries %d bits, want trimmed %d", i, len(pkt.Bits), infoLen)
+		}
+		if fec.CountBitErrors(infos[i], pkt.Bits) != 0 {
+			t.Fatalf("beam %d packet bits differ from the sent info bits", i)
+		}
+		if pkt.Class != classes[i] || pkt.Term != any(terms[i]) || pkt.Ingress != 7+i {
+			t.Fatalf("beam %d metadata %v/%v/%d lost in routing", i, pkt.Class, pkt.Term, pkt.Ingress)
+		}
+	}
+}
+
+// A destination beam outside the fabric is an error at every route
+// entry point, not a silent discard (the seed's map switch accepted
+// any integer).
+func TestRouteRejectsBeamOutsideFabric(t *testing.T) {
+	const infoLen = 180
+	pl, codec := newTDMAPayload(t, 3, "conv-r1/2-k9", infoLen)
+	rx, _ := makeTDMABursts(pl, codec, infoLen, 41)
+	if _, err := pl.ProcessFrame(3, rx); err == nil {
+		t.Fatal("ProcessFrame accepted beam 3 on a 3-beam fabric")
+	}
+	if _, err := pl.ReceiveAndRoute(0, rx[0], -1); err == nil {
+		t.Fatal("ReceiveAndRoute accepted a negative beam")
+	}
+	fc, asgs, _ := composeQoSFrame(t, pl, codec, infoLen, 41)
+	receipts := pl.ReceiveFrameAndRoute(fc, asgs, []int{0, 1, 9})
+	if receipts[2].Err == nil || receipts[2].Bits != nil {
+		t.Fatalf("misrouted cell not surfaced: %+v", receipts[2])
+	}
+	if receipts[0].Err != nil || receipts[1].Err != nil {
+		t.Fatal("valid cells failed alongside the misroute")
+	}
+	if pl.Switch().Misrouted() != 0 {
+		t.Fatal("validated route path still hit the fabric misroute counter")
+	}
+}
+
+// The PR's data-race satellite: the seed switch was mutated by
+// ProcessFrame routing while Drain read it with no synchronization.
+// The fabric must survive concurrent frame routers and drainers under
+// the race detector with exact packet accounting.
+func TestConcurrentFrameRoutingAndDrain(t *testing.T) {
+	const infoLen = 180
+	pl, codec := newTDMAPayload(t, 3, "conv-r1/2-k9", infoLen)
+	rx, _ := makeTDMABursts(pl, codec, infoLen, 31)
+
+	const routers, frames = 4, 6
+	var wg sync.WaitGroup
+	drained := make([]int, routers)
+	for w := 0; w < routers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for f := 0; f < frames; f++ {
+				if _, err := pl.ProcessFrame(w%3, rx); err != nil {
+					t.Error(err)
+					return
+				}
+				drained[w] += len(pl.Switch().Drain((w + f) % 3))
+			}
+		}()
+	}
+	wg.Wait()
+	total := 0
+	for _, d := range drained {
+		total += d
+	}
+	for b := 0; b < 3; b++ {
+		total += len(pl.Switch().Drain(b))
+	}
+	if want := routers * frames * len(rx); total != want {
+		t.Fatalf("drained %d packets, routed %d", total, want)
+	}
+}

@@ -87,8 +87,8 @@ func TestFig2WidebandRegenerativeLoop(t *testing.T) {
 		}
 		pl.Switch().Route(c, fec.PackBits(dec[:infoLen]))
 	}
-	if pl.Switch().Routed != plan.Carriers {
-		t.Fatalf("switch routed %d", pl.Switch().Routed)
+	if pl.Switch().Routed() != plan.Carriers {
+		t.Fatalf("switch routed %d", pl.Switch().Routed())
 	}
 
 	// Transmit section: drain the switch and downlink each beam.

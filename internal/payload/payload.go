@@ -11,6 +11,7 @@ import (
 	"repro/internal/fec"
 	"repro/internal/fpga"
 	"repro/internal/modem"
+	"repro/internal/switchfab"
 )
 
 // WaveformMode is the uplink access scheme currently loaded in the DEMOD
@@ -69,7 +70,7 @@ func DefaultConfig() Config {
 type Payload struct {
 	cfg Config
 	cs  *Chipset
-	sw  *PacketSwitch
+	sw  *switchfab.Fabric
 
 	burstFormat modem.BurstFormat
 
@@ -101,7 +102,7 @@ func New(cfg Config) (*Payload, error) {
 	p := &Payload{
 		cfg:         cfg,
 		cs:          cs,
-		sw:          NewPacketSwitch(),
+		sw:          switchfab.New(cfg.Carriers, 0),
 		burstFormat: modem.DefaultBurstFormat(cfg.TDMAPayloadSymbols),
 	}
 	p.tdmaDemods.New = func() any {
@@ -178,8 +179,10 @@ func (p *Payload) SetBurstCodedBits(n int) { p.codedBits = n }
 // Chipset exposes the FPGA set (the OBC registers these devices).
 func (p *Payload) Chipset() *Chipset { return p.cs }
 
-// Switch exposes the baseband packet switch.
-func (p *Payload) Switch() *PacketSwitch { return p.sw }
+// Switch exposes the baseband switching fabric — one shard per carrier
+// beam, thread-safe for concurrent routers (see switchfab's ownership
+// rule: a traffic engine adopts it as its downlink queue).
+func (p *Payload) Switch() *switchfab.Fabric { return p.sw }
 
 // Config returns the payload configuration.
 func (p *Payload) Config() Config { return p.cfg }
@@ -406,11 +409,25 @@ func (p *Payload) decodeBurst(soft []float64) ([]byte, error) {
 	return p.Decode(soft)
 }
 
+// checkBeam rejects a destination beam outside the switching fabric:
+// the fabric serves exactly one shard per carrier beam, so a misroute
+// would silently discard the packet (the old map-based switch accepted
+// any integer — callers now get the error instead).
+func (p *Payload) checkBeam(beam int) error {
+	if beam < 0 || beam >= p.sw.NumBeams() {
+		return fmt.Errorf("payload: beam %d outside the %d-beam switching fabric", beam, p.sw.NumBeams())
+	}
+	return nil
+}
+
 // ReceiveAndRoute demodulates a carrier, decodes, and routes the
 // resulting packet to the given downlink beam — one full regenerative
 // hop through the payload. It is the thin single-carrier wrapper over
 // the same DEMOD/DECOD/switch stages ProcessFrame fans out per carrier.
 func (p *Payload) ReceiveAndRoute(carrier int, rx dsp.Vec, beam int) ([]byte, error) {
+	if err := p.checkBeam(beam); err != nil {
+		return nil, err
+	}
 	soft, err := p.DemodulateCarrier(carrier, rx)
 	if err != nil {
 		return nil, err

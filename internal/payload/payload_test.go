@@ -95,34 +95,40 @@ func TestFunctionUnhealthyWhenCorrupted(t *testing.T) {
 	}
 }
 
-func TestPacketSwitchRouting(t *testing.T) {
-	ps := NewPacketSwitch()
-	ps.Route(1, []byte("a"))
-	ps.Route(1, []byte("b"))
-	ps.Route(2, []byte("c"))
-	if ps.Routed != 3 || ps.QueueDepth(1) != 2 {
+// The payload's switch is now the sharded fabric (switchfab has the
+// full unit suite); this pins the payload-facing contract: one shard
+// per carrier beam, arrival-order drains, bounded drops after adoption.
+func TestPayloadSwitchFabric(t *testing.T) {
+	p, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sw := p.Switch()
+	if sw.NumBeams() != DefaultConfig().Carriers {
+		t.Fatalf("fabric serves %d beams, payload has %d carriers", sw.NumBeams(), DefaultConfig().Carriers)
+	}
+	sw.Route(1, []byte("a"))
+	sw.Route(1, []byte("b"))
+	sw.Route(2, []byte("c"))
+	if sw.Routed() != 3 || sw.QueueDepth(1) != 2 {
 		t.Fatal("routing counters")
 	}
-	got := ps.Drain(1)
+	got := sw.Drain(1)
 	if len(got) != 2 || string(got[0]) != "a" {
 		t.Fatalf("drain %v", got)
 	}
-	if ps.QueueDepth(1) != 0 {
+	if sw.QueueDepth(1) != 0 {
 		t.Fatal("drain must empty the queue")
 	}
-	if b := ps.Beams(); len(b) != 1 || b[0] != 2 {
+	if b := sw.Beams(); len(b) != 1 || b[0] != 2 {
 		t.Fatalf("beams %v", b)
 	}
-}
-
-func TestPacketSwitchBackpressure(t *testing.T) {
-	ps := NewPacketSwitch()
-	ps.MaxQueue = 2
+	sw.Adopt(2)
 	for i := 0; i < 5; i++ {
-		ps.Route(0, []byte{byte(i)})
+		sw.Route(0, []byte{byte(i)})
 	}
-	if ps.Dropped != 3 || ps.QueueDepth(0) != 2 {
-		t.Fatalf("dropped=%d depth=%d", ps.Dropped, ps.QueueDepth(0))
+	if sw.Dropped() != 3 || sw.QueueDepth(0) != 2 {
+		t.Fatalf("dropped=%d depth=%d", sw.Dropped(), sw.QueueDepth(0))
 	}
 }
 

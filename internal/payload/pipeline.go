@@ -24,6 +24,9 @@ import (
 // under SEUs or mid-reconfiguration, so callers should inspect both
 // return values.
 func (p *Payload) ProcessFrame(beam int, rx []dsp.Vec) ([][]byte, error) {
+	if err := p.checkBeam(beam); err != nil {
+		return nil, err
+	}
 	if len(rx) == 0 {
 		return nil, errors.New("payload: empty frame")
 	}

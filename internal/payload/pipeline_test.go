@@ -149,7 +149,7 @@ func TestProcessFramePartialFailure(t *testing.T) {
 	rx, infos := makeTDMABursts(pl, codec, infoLen, 3)
 	rx[2] = dsp.NewVec(len(rx[2])) // wipe carrier 2: no burst to find
 
-	bits, err := pl.ProcessFrame(5, rx)
+	bits, err := pl.ProcessFrame(3, rx)
 	if err == nil {
 		t.Fatal("missing burst must surface as an error")
 	}
@@ -161,7 +161,7 @@ func TestProcessFramePartialFailure(t *testing.T) {
 			t.Fatalf("carrier %d must survive a neighbour's failure", c)
 		}
 	}
-	if got := len(pl.Switch().Drain(5)); got != 3 {
+	if got := len(pl.Switch().Drain(3)); got != 3 {
 		t.Fatalf("switch received %d packets, want 3", got)
 	}
 }

@@ -15,6 +15,7 @@ var presets = map[string]func() Spec{
 	"backpressure":    BackpressureSpec,
 	"swap-under-load": SwapUnderLoad,
 	"fade-ramp":       FadeRamp,
+	"qos-priority":    QoSPriority,
 }
 
 // Preset returns the named preset spec.
@@ -239,6 +240,38 @@ func SwapUnderLoad() Spec {
 	}
 	sp.Events = []Event{
 		{Frame: 60, Action: ActionSwapDecoder, Codec: "turbo-r1/3"},
+	}
+	return sp
+}
+
+// QoSPriority is the E13 study shape: a classed population aims an EF
+// voice trickle, an AF on/off video source and a best-effort flash
+// crowd at one beam, scheduled strictly by priority with a one-slot BE
+// floor over per-class bounded queues — the hotspot overload lands
+// entirely on the best-effort class (queue drops, deep backlog) while
+// EF rides through with zero drops and zero queueing delay, and the BE
+// floor keeps the crowd from starving outright. A mid-run set-class
+// event upgrades the web terminal to AF, so the runtime reclassing
+// path is part of the preset's pinned shape.
+func QoSPriority() Spec {
+	sp := Spec{
+		Name:        "qos-priority",
+		Description: "EF/AF/BE classes under strict priority with a BE floor: best effort absorbs a flash crowd while EF holds zero drops",
+		Frames:      40,
+		System:      SystemSpec{Codec: "conv-r1/2-k9"},
+		Traffic:     baseTraffic(41),
+	}
+	sp.Traffic.QueueDepth = 6
+	sp.Traffic.Scheduler = &SchedulerSpec{Kind: "strict", BEFloor: 1}
+	sp.Terminals = []TerminalSpec{
+		{ID: "voice", Beam: 0, Class: "ef", Model: ModelSpec{Kind: "cbr", Cells: 1}},
+		{ID: "video", Beam: 0, Class: "af", Model: ModelSpec{Kind: "onoff", On: 3, Off: 2, Cells: 2, Phase: 1}},
+		{ID: "bulk", Beam: 0, Class: "be", Model: ModelSpec{Kind: "hotspot", Base: 1, Surge: 6, Period: 8, Width: 3}},
+		{ID: "ctrl", Beam: 1, Class: "ef", Model: ModelSpec{Kind: "cbr", Cells: 1}},
+		{ID: "web", Beam: 2, Model: ModelSpec{Kind: "cbr", Cells: 2}},
+	}
+	sp.Events = []Event{
+		{Frame: 20, Action: ActionSetClass, Terminal: "web", Class: "af"},
 	}
 	return sp
 }

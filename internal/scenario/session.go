@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"repro/internal/payload"
+	"repro/internal/switchfab"
 	"repro/internal/traffic"
 )
 
@@ -367,6 +368,24 @@ func (s *Session) apply(ev Event) EventRecord {
 				}
 				rec.Detail += "policy=" + ev.Policy
 			}
+		}
+	case ActionSetScheduler:
+		// Loose sessions skip spec-level event validation, so the
+		// runtime re-rejects a missing or malformed scheduler.
+		if ev.Scheduler == nil {
+			err = errors.New("missing scheduler")
+			break
+		}
+		var sched switchfab.Scheduler
+		if sched, err = ev.Scheduler.Build(); err == nil {
+			rec.Detail = sched.Name()
+			err = s.eng.SetScheduler(sched)
+		}
+	case ActionSetClass:
+		var cls switchfab.Class
+		if cls, err = switchfab.ParseClass(ev.Class); err == nil {
+			rec.Detail = fmt.Sprintf("%s->%s", ev.Terminal, cls)
+			err = s.eng.SetTerminalClass(ev.Terminal, cls)
 		}
 	default:
 		err = fmt.Errorf("unknown action %q", ev.Action)

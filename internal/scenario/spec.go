@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/modem"
 	"repro/internal/payload"
+	"repro/internal/switchfab"
 	"repro/internal/traffic"
 )
 
@@ -81,6 +82,53 @@ type TrafficSpec struct {
 	EbN0dB       float64 `json:"ebn0_db,omitempty"`
 	Verify       bool    `json:"verify,omitempty"`
 	Seed         int64   `json:"seed"`
+	// Scheduler selects the downlink scheduler over the switching
+	// fabric's class queues; nil is FIFO (arrival order).
+	Scheduler *SchedulerSpec `json:"scheduler,omitempty"`
+}
+
+// SchedulerSpec is the declarative downlink scheduler: Kind selects
+// fifo (default), strict (priority with an optional best-effort floor)
+// or drr (deficit round robin over the classes with per-class weights
+// in slots per round).
+type SchedulerSpec struct {
+	Kind string `json:"kind"`
+	// BEFloor reserves slots per beam per frame for best effort under
+	// strict priority (bounds EF starvation of BE).
+	BEFloor int `json:"be_floor,omitempty"`
+	// WeightEF/WeightAF/WeightBE are the DRR class weights; all must be
+	// non-negative with at least one positive.
+	WeightEF int `json:"weight_ef,omitempty"`
+	WeightAF int `json:"weight_af,omitempty"`
+	WeightBE int `json:"weight_be,omitempty"`
+}
+
+// Build resolves the declarative scheduler to its fabric
+// implementation; nil builds the FIFO default.
+func (s *SchedulerSpec) Build() (switchfab.Scheduler, error) {
+	if s == nil {
+		return switchfab.FIFO{}, nil
+	}
+	switch s.Kind {
+	case "", "fifo":
+		if s.BEFloor != 0 || s.WeightEF != 0 || s.WeightAF != 0 || s.WeightBE != 0 {
+			return nil, fmt.Errorf("scenario: fifo scheduler takes no floor or weights")
+		}
+		return switchfab.FIFO{}, nil
+	case "strict":
+		if s.BEFloor < 0 {
+			return nil, fmt.Errorf("scenario: negative BE floor %d", s.BEFloor)
+		}
+		return switchfab.StrictPriority{BEFloor: s.BEFloor}, nil
+	case "drr":
+		d, err := switchfab.NewDRR(s.WeightEF, s.WeightAF, s.WeightBE)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		return d, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown scheduler %q (fifo, strict or drr)", s.Kind)
+	}
 }
 
 // ModelSpec is a declarative traffic model; Kind selects cbr, onoff or
@@ -107,10 +155,13 @@ type ChannelSpec struct {
 	EsN0dB float64 `json:"esn0_db,omitempty"`
 }
 
-// TerminalSpec is one terminal of the population.
+// TerminalSpec is one terminal of the population. Class is the traffic
+// class its packets carry through the switching fabric ("be" — the
+// default — "af" or "ef").
 type TerminalSpec struct {
 	ID      string       `json:"id"`
 	Beam    int          `json:"beam"`
+	Class   string       `json:"class,omitempty"`
 	Model   ModelSpec    `json:"model"`
 	Channel *ChannelSpec `json:"channel,omitempty"`
 }
@@ -134,20 +185,29 @@ const (
 	// ActionSetQueue applies Event.QueueDepth (if positive) and
 	// Event.Policy (if non-empty) to the downlink queues.
 	ActionSetQueue = "set-queue"
+	// ActionSetScheduler swaps the downlink scheduler to
+	// Event.Scheduler — queued packets stay queued, only the drain
+	// order and shares change.
+	ActionSetScheduler = "set-scheduler"
+	// ActionSetClass reassigns Event.Terminal's traffic class to
+	// Event.Class; packets already queued keep their marking.
+	ActionSetClass = "set-class"
 )
 
 // Event is one scripted action, applied at the boundary before frame
 // Frame runs (frame numbers are absolute, 0-based).
 type Event struct {
-	Frame      int           `json:"frame"`
-	Action     string        `json:"action"`
-	Codec      string        `json:"codec,omitempty"`
-	Waveform   string        `json:"waveform,omitempty"`
-	Terminal   string        `json:"terminal,omitempty"`
-	Join       *TerminalSpec `json:"join,omitempty"`
-	Channel    *ChannelSpec  `json:"channel,omitempty"`
-	QueueDepth int           `json:"queue_depth,omitempty"`
-	Policy     string        `json:"policy,omitempty"`
+	Frame      int            `json:"frame"`
+	Action     string         `json:"action"`
+	Codec      string         `json:"codec,omitempty"`
+	Waveform   string         `json:"waveform,omitempty"`
+	Terminal   string         `json:"terminal,omitempty"`
+	Join       *TerminalSpec  `json:"join,omitempty"`
+	Channel    *ChannelSpec   `json:"channel,omitempty"`
+	QueueDepth int            `json:"queue_depth,omitempty"`
+	Policy     string         `json:"policy,omitempty"`
+	Scheduler  *SchedulerSpec `json:"scheduler,omitempty"`
+	Class      string         `json:"class,omitempty"`
 }
 
 // Load reads and validates a Spec from JSON. Unknown fields and
@@ -235,10 +295,15 @@ func (sp Spec) TrafficConfig() (traffic.Config, error) {
 	if err != nil {
 		return traffic.Config{}, err
 	}
+	sched, err := sp.Traffic.Scheduler.Build()
+	if err != nil {
+		return traffic.Config{}, err
+	}
 	return traffic.Config{
 		Frame:      sp.Traffic.FrameConfig(),
 		QueueDepth: sp.Traffic.QueueDepth,
 		Policy:     pol,
+		Scheduler:  sched,
 		EbN0dB:     sp.Traffic.EbN0dB,
 		Verify:     sp.Traffic.Verify,
 		Seed:       sp.Traffic.Seed,
@@ -280,7 +345,11 @@ func (t TerminalSpec) Terminal() (traffic.Terminal, error) {
 	if err != nil {
 		return traffic.Terminal{}, fmt.Errorf("scenario: terminal %q: %w", t.ID, err)
 	}
-	return traffic.Terminal{ID: t.ID, Beam: t.Beam, Model: m, Channel: t.Channel.Profile()}, nil
+	cls, err := switchfab.ParseClass(t.Class)
+	if err != nil {
+		return traffic.Terminal{}, fmt.Errorf("scenario: terminal %q: %w", t.ID, err)
+	}
+	return traffic.Terminal{ID: t.ID, Beam: t.Beam, Class: cls, Model: m, Channel: t.Channel.Profile()}, nil
 }
 
 // Population resolves the spec's terminal list.
@@ -356,6 +425,9 @@ func (sp Spec) validate(loose bool) error {
 	if _, err := ParsePolicy(t.Policy); err != nil {
 		return err
 	}
+	if _, err := t.Scheduler.Build(); err != nil {
+		return err
+	}
 	if sp.System.PayloadSymbols < 0 {
 		return fmt.Errorf("scenario: negative payload symbols %d", sp.System.PayloadSymbols)
 	}
@@ -425,6 +497,9 @@ func (sp Spec) validateTerminals() error {
 func (sp Spec) checkTerminal(term TerminalSpec) error {
 	if term.Beam < 0 || term.Beam >= sp.Traffic.Carriers {
 		return fmt.Errorf("scenario: terminal %q beam %d outside the %d-beam downlink", term.ID, term.Beam, sp.Traffic.Carriers)
+	}
+	if _, err := switchfab.ParseClass(term.Class); err != nil {
+		return fmt.Errorf("scenario: terminal %q: %w", term.ID, err)
 	}
 	if _, err := term.Model.Build(); err != nil {
 		return err
@@ -551,6 +626,20 @@ func (sp Spec) validateEvents() error {
 				if _, err := ParsePolicy(ev.Policy); err != nil {
 					return fmt.Errorf("%s: %w", where, err)
 				}
+			}
+		case ActionSetScheduler:
+			if ev.Scheduler == nil {
+				return fmt.Errorf("%s: missing scheduler", where)
+			}
+			if _, err := ev.Scheduler.Build(); err != nil {
+				return fmt.Errorf("%s: %w", where, err)
+			}
+		case ActionSetClass:
+			if !active[ev.Terminal] {
+				return fmt.Errorf("%s: terminal %q not in the population at that frame", where, ev.Terminal)
+			}
+			if _, err := switchfab.ParseClass(ev.Class); err != nil {
+				return fmt.Errorf("%s: %w", where, err)
 			}
 		default:
 			return fmt.Errorf("%s: unknown action", where)

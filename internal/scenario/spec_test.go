@@ -186,6 +186,37 @@ func TestValidateRejections(t *testing.T) {
 		{"set-queue bad policy", func(sp *Spec) {
 			sp.Events = []Event{{Frame: 1, Action: ActionSetQueue, Policy: "random-early"}}
 		}, "policy"},
+		{"unknown terminal class", func(sp *Spec) {
+			sp.Terminals[0].Class = "gold"
+		}, "unknown traffic class"},
+		{"unknown scheduler", func(sp *Spec) {
+			sp.Traffic.Scheduler = &SchedulerSpec{Kind: "wfq"}
+		}, "unknown scheduler"},
+		{"fifo with weights", func(sp *Spec) {
+			sp.Traffic.Scheduler = &SchedulerSpec{Kind: "fifo", WeightEF: 2}
+		}, "no floor or weights"},
+		{"strict negative floor", func(sp *Spec) {
+			sp.Traffic.Scheduler = &SchedulerSpec{Kind: "strict", BEFloor: -1}
+		}, "BE floor"},
+		{"drr zero weights", func(sp *Spec) {
+			sp.Traffic.Scheduler = &SchedulerSpec{Kind: "drr"}
+		}, "positive weight"},
+		{"drr negative weight", func(sp *Spec) {
+			sp.Traffic.Scheduler = &SchedulerSpec{Kind: "drr", WeightEF: -1, WeightBE: 1}
+		}, "negative DRR weight"},
+		{"set-scheduler missing", func(sp *Spec) {
+			sp.Events = []Event{{Frame: 1, Action: ActionSetScheduler}}
+		}, "missing scheduler"},
+		{"set-scheduler bad", func(sp *Spec) {
+			sp.Events = []Event{{Frame: 1, Action: ActionSetScheduler,
+				Scheduler: &SchedulerSpec{Kind: "drr"}}}
+		}, "positive weight"},
+		{"set-class unknown terminal", func(sp *Spec) {
+			sp.Events = []Event{{Frame: 1, Action: ActionSetClass, Terminal: "ghost", Class: "ef"}}
+		}, "not in the population"},
+		{"set-class bad class", func(sp *Spec) {
+			sp.Events = []Event{{Frame: 1, Action: ActionSetClass, Terminal: "t0", Class: "platinum"}}
+		}, "unknown traffic class"},
 		{"event cfo ramp out of range", func(sp *Spec) {
 			// In range at the event frame, aliased by the end of the run.
 			sp.Events = []Event{{Frame: 5, Action: ActionSetChannel, Terminal: "t0",

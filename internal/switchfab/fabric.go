@@ -1,0 +1,356 @@
+// Package switchfab is the baseband packet switching fabric of the
+// regenerative payload — the stage that makes on-board demodulation
+// worth it ("packet switching can be performed at the satellite
+// level"). It replaces the seed's unsynchronized single-map switch with
+// per-beam shards: every downlink beam owns a lock and a set of
+// per-class ring buffers, so concurrent routers (the payload's frame
+// pipelines, one worker per carrier) contend only when they target the
+// same beam, and readers (queue probes, drains, the downlink scheduler)
+// are safe against them. Packets are typed — payload bytes plus a
+// traffic class, an opaque terminal token and an ingress frame stamp —
+// and the downlink side pops them through a pluggable Scheduler
+// (FIFO, strict priority with a best-effort floor, deficit round
+// robin) directly into the transmit grid, so there is no per-frame
+// drain-copy layer between the switch and the transmitter.
+//
+// Ownership rule (see DESIGN.md): Route/RoutePacket, Drain, Schedule
+// and every probe are safe from any goroutine at any time. Adopt and
+// SetDepth reconfigure the fabric for a new exclusive driver (a traffic
+// engine) and must not race in-flight routing — drivers call them at
+// frame boundaries, engines at construction.
+package switchfab
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Packet is one switched packet: the decoded payload bytes, the traffic
+// class the downlink scheduler keys on, an opaque terminal token the
+// driver uses to attribute delivery stats (comparable types only if a
+// scheduler is to key on it), and the frame the packet entered the
+// payload, for latency accounting. The fabric owns Bits from Route
+// until the packet is popped; callers must not retain or mutate the
+// slice after routing.
+type Packet struct {
+	Bits    []byte
+	Class   Class
+	Term    any
+	Ingress int
+
+	// seq orders packets across the class queues of one shard —
+	// assigned at enqueue, the FIFO scheduler's arrival-order key.
+	seq uint64
+}
+
+// ring is a growable circular queue of packets. Bounded queues are
+// preallocated to their bound at Adopt, so steady-state push/pop never
+// allocates.
+type ring struct {
+	buf  []Packet
+	head int
+	n    int
+}
+
+func (r *ring) push(p Packet) {
+	if r.n == len(r.buf) {
+		r.grow()
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+}
+
+func (r *ring) grow() {
+	nb := make([]Packet, max(2*len(r.buf), 8))
+	for i := 0; i < r.n; i++ {
+		nb[i] = r.buf[(r.head+i)%len(r.buf)]
+	}
+	r.buf, r.head = nb, 0
+}
+
+func (r *ring) pop() (Packet, bool) {
+	if r.n == 0 {
+		return Packet{}, false
+	}
+	p := r.buf[r.head]
+	r.buf[r.head] = Packet{} // release the payload to the GC
+	r.head = (r.head + 1) % len(r.buf)
+	r.n--
+	return p, true
+}
+
+func (r *ring) peek() (Packet, bool) {
+	if r.n == 0 {
+		return Packet{}, false
+	}
+	return r.buf[r.head], true
+}
+
+func (r *ring) reset(bound int) {
+	clear(r.buf)
+	r.head, r.n = 0, 0
+	if bound > 0 && len(r.buf) < bound {
+		r.buf = make([]Packet, bound)
+	}
+}
+
+// shard is one beam's slice of the fabric: its own lock, one ring per
+// class, and its counters. Shards are padded so concurrent routers on
+// neighbouring beams do not false-share a cache line.
+type shard struct {
+	mu      sync.Mutex
+	depth   int // per-class queue bound; 0 = unbounded
+	q       [NumClasses]ring
+	n       int    // total packets queued across classes
+	seq     uint64 // next arrival sequence number
+	hw      int    // peak total occupancy
+	clsHW   [NumClasses]int
+	routed  [NumClasses]int
+	dropped [NumClasses]int
+
+	_ [64]byte // pad to a cache line
+}
+
+// ClassCounters is one class's fabric-side accounting, aggregated over
+// every shard.
+type ClassCounters struct {
+	Routed    int // packets enqueued
+	Dropped   int // packets tail-dropped by a full class queue
+	HighWater int // peak occupancy of any single beam's queue of this class
+}
+
+// Fabric is the sharded switch: one shard per downlink beam.
+type Fabric struct {
+	shards    []shard
+	misrouted atomic.Int64
+}
+
+// New builds a fabric with the given number of downlink beams and
+// per-(beam, class) queue bound (0 = unbounded, the standalone-payload
+// default; traffic engines Adopt the fabric with their own bound).
+func New(beams, depth int) *Fabric {
+	if beams < 1 {
+		beams = 1
+	}
+	f := &Fabric{shards: make([]shard, beams)}
+	for i := range f.shards {
+		f.shards[i].depth = depth
+	}
+	return f
+}
+
+// NumBeams returns the number of downlink beams the fabric serves.
+func (f *Fabric) NumBeams() int { return len(f.shards) }
+
+// Adopt prepares the fabric for a new exclusive driver: every queue and
+// counter is cleared, the per-(beam, class) bound is set, and bounded
+// rings are preallocated to the bound so the steady-state
+// route→schedule→fill path never allocates. Constructing a traffic
+// engine adopts its payload's fabric; see the package ownership rule.
+func (f *Fabric) Adopt(depth int) {
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		sh.depth = depth
+		for c := range sh.q {
+			sh.q[c].reset(depth)
+		}
+		sh.n, sh.seq, sh.hw = 0, 0, 0
+		sh.clsHW = [NumClasses]int{}
+		sh.routed = [NumClasses]int{}
+		sh.dropped = [NumClasses]int{}
+		sh.mu.Unlock()
+	}
+	f.misrouted.Store(0)
+}
+
+// SetDepth rebounds the per-(beam, class) queues without clearing them.
+// A shrink does not evict queued packets: the bound applies to
+// subsequent enqueues, so over-deep queues drain naturally.
+func (f *Fabric) SetDepth(depth int) {
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		sh.depth = depth
+		sh.mu.Unlock()
+	}
+}
+
+// Depth returns the per-(beam, class) queue bound in force (0 =
+// unbounded).
+func (f *Fabric) Depth() int {
+	sh := &f.shards[0]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.depth
+}
+
+// Route enqueues an unmarked (best effort) packet for a downlink beam —
+// the pre-QoS single-class path the payload's legacy wrappers ride.
+// It reports whether the packet was queued (false: the class queue is
+// full, or the beam is outside the fabric).
+func (f *Fabric) Route(beam int, payload []byte) bool {
+	return f.RoutePacket(beam, Packet{Bits: payload})
+}
+
+// RoutePacket enqueues a typed packet for a downlink beam. A full class
+// queue tail-drops (counted per class); a beam outside the fabric is
+// counted as misrouted. Safe from any goroutine; concurrent routers
+// serialize only per beam.
+func (f *Fabric) RoutePacket(beam int, p Packet) bool {
+	if beam < 0 || beam >= len(f.shards) {
+		f.misrouted.Add(1)
+		return false
+	}
+	sh := &f.shards[beam]
+	sh.mu.Lock()
+	q := &sh.q[p.Class]
+	if sh.depth > 0 && q.n >= sh.depth {
+		sh.dropped[p.Class]++
+		sh.mu.Unlock()
+		return false
+	}
+	p.seq = sh.seq
+	sh.seq++
+	q.push(p)
+	sh.n++
+	sh.routed[p.Class]++
+	if q.n > sh.clsHW[p.Class] {
+		sh.clsHW[p.Class] = q.n
+	}
+	if sh.n > sh.hw {
+		sh.hw = sh.n
+	}
+	sh.mu.Unlock()
+	return true
+}
+
+// Drain removes and returns every packet queued for a beam in arrival
+// order — the compatibility path for single-shot payload callers
+// (ProcessFrame tests, payloadsim). Traffic engines do not drain: they
+// Schedule packets straight into the transmit grid.
+func (f *Fabric) Drain(beam int) [][]byte {
+	if beam < 0 || beam >= len(f.shards) {
+		return nil
+	}
+	sh := &f.shards[beam]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.n == 0 {
+		return nil
+	}
+	out := make([][]byte, 0, sh.n)
+	for sh.n > 0 {
+		c, ok := headClass(sh)
+		if !ok {
+			break
+		}
+		p, _ := sh.q[c].pop()
+		sh.n--
+		out = append(out, p.Bits)
+	}
+	return out
+}
+
+// headClass returns the class whose head packet arrived first.
+func headClass(sh *shard) (Class, bool) {
+	var (
+		best    Class
+		bestSeq uint64
+		found   bool
+	)
+	for c := Class(0); c < NumClasses; c++ {
+		if p, ok := sh.q[c].peek(); ok && (!found || p.seq < bestSeq) {
+			best, bestSeq, found = c, p.seq, true
+		}
+	}
+	return best, found
+}
+
+// QueueDepth returns the packets queued for a beam across all classes,
+// 0 for a beam outside the fabric (observers probe freely).
+func (f *Fabric) QueueDepth(beam int) int {
+	if beam < 0 || beam >= len(f.shards) {
+		return 0
+	}
+	sh := &f.shards[beam]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.n
+}
+
+// ClassQueueDepth returns the packets queued for one (beam, class).
+func (f *Fabric) ClassQueueDepth(beam int, c Class) int {
+	if beam < 0 || beam >= len(f.shards) || c >= NumClasses {
+		return 0
+	}
+	sh := &f.shards[beam]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.q[c].n
+}
+
+// HighWater returns the peak total occupancy a beam's queues reached
+// since the last Adopt.
+func (f *Fabric) HighWater(beam int) int {
+	if beam < 0 || beam >= len(f.shards) {
+		return 0
+	}
+	sh := &f.shards[beam]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.hw
+}
+
+// Beams lists beams with queued traffic, sorted.
+func (f *Fabric) Beams() []int {
+	var out []int
+	for i := range f.shards {
+		if f.QueueDepth(i) > 0 {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Routed returns the total packets enqueued since the last Adopt.
+func (f *Fabric) Routed() int {
+	total := 0
+	for _, cc := range f.ClassCounters() {
+		total += cc.Routed
+	}
+	return total
+}
+
+// Dropped returns the total packets tail-dropped by full class queues
+// since the last Adopt (misroutes are counted separately).
+func (f *Fabric) Dropped() int {
+	total := 0
+	for _, cc := range f.ClassCounters() {
+		total += cc.Dropped
+	}
+	return total
+}
+
+// Misrouted returns the packets routed to beams outside the fabric.
+func (f *Fabric) Misrouted() int { return int(f.misrouted.Load()) }
+
+// ClassCounters aggregates the per-class accounting over every shard.
+func (f *Fabric) ClassCounters() [NumClasses]ClassCounters {
+	var out [NumClasses]ClassCounters
+	for i := range f.shards {
+		sh := &f.shards[i]
+		sh.mu.Lock()
+		for c := 0; c < NumClasses; c++ {
+			out[c].Routed += sh.routed[c]
+			out[c].Dropped += sh.dropped[c]
+			if sh.clsHW[c] > out[c].HighWater {
+				out[c].HighWater = sh.clsHW[c]
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}

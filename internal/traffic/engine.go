@@ -14,6 +14,7 @@ import (
 	"repro/internal/modem"
 	"repro/internal/payload"
 	"repro/internal/pipeline"
+	"repro/internal/switchfab"
 )
 
 // DropPolicy selects how a full downlink queue is handled.
@@ -46,10 +47,17 @@ type Config struct {
 	// Plan is the downlink carrier plan; the zero value selects
 	// DefaultPlan(Frame.Carriers).
 	Plan frontend.CarrierPlan
-	// QueueDepth bounds each beam's downlink queue in packets.
+	// QueueDepth bounds each (beam, class) downlink queue in packets —
+	// per class, so a best-effort backlog cannot evict a priority
+	// class's buffer space (single-class runs see the familiar per-beam
+	// bound).
 	QueueDepth int
 	// Policy selects the overload behaviour of the bounded queues.
 	Policy DropPolicy
+	// Scheduler fills downlink slots from the switching fabric's class
+	// queues; nil selects switchfab.FIFO (arrival order, bit-identical
+	// to the pre-fabric engine on single-class runs).
+	Scheduler switchfab.Scheduler
 	// EbN0dB applies AWGN to every uplink burst at the given Eb/N0;
 	// zero or negative leaves the uplink noiseless.
 	EbN0dB float64
@@ -92,13 +100,6 @@ func InfoBitsFor(c fec.Codec, budget int) int {
 	return k
 }
 
-// qpkt is one packet waiting in a beam's downlink queue.
-type qpkt struct {
-	bits    []byte
-	term    *termState
-	ingress int // frame the packet entered the payload
-}
-
 // uplinkCell is one granted (carrier, slot) cell of the current frame.
 type uplinkCell struct {
 	asg  modem.SlotAssignment
@@ -108,16 +109,33 @@ type uplinkCell struct {
 
 // sentCell is one downlink burst of the current frame.
 type sentCell struct {
-	pkt  qpkt
+	pkt  switchfab.Packet
 	cell modem.SlotAssignment
 }
 
-// Engine drives the closed regenerative loop frame after frame.
+// clsAccum collects engine-side per-class delivery statistics; the
+// fabric-side counters (routed, dropped, high water) merge in at
+// snapshot time (perClass).
+type clsAccum struct {
+	delivered int
+	bits      int
+	reencode  int
+	latSum    int
+	latMax    int
+}
+
+// Engine drives the closed regenerative loop frame after frame. Since
+// the switching fabric landed there is no engine-owned queue layer: the
+// payload's fabric is the single downlink queue — uplink receipts
+// enter it as typed packets (class, terminal, ingress frame) and the
+// downlink scheduler pops them straight into the transmit grid.
 type Engine struct {
-	pl    *payload.Payload
-	tx    *payload.Transmitter
-	sched *modem.SlotScheduler
-	cfg   Config
+	pl      *payload.Payload
+	tx      *payload.Transmitter
+	sched   *modem.SlotScheduler
+	fab     *switchfab.Fabric
+	dlsched switchfab.Scheduler
+	cfg     Config
 
 	// terms is the population in join order, departed terminals
 	// included (active=false) so their statistics survive a mid-run
@@ -126,19 +144,32 @@ type Engine struct {
 	terms  []*termState
 	rngSeq int64
 
-	queues [][]qpkt
-	frame  int
+	frame int
 
 	mods   sync.Pool // terminal-side burst modulators
 	gdemux *frontend.Demux
 	gdems  sync.Pool // ground-side burst demodulators
 
 	// scratch reused across frames
-	fc   *modem.FrameComposer
-	grid [][][]byte
-	sent []sentCell
+	fc    *modem.FrameComposer
+	grid  [][][]byte
+	sent  []sentCell
+	metas []payload.RouteMeta
+	room  [][switchfab.NumClasses]int
+
+	// fill is the state the preallocated emit closure reads while the
+	// downlink scheduler pops packets into the transmit grid.
+	fill struct {
+		frame  int
+		codec  fec.Codec
+		budget int
+		beam   int
+		slot   int
+	}
+	emitFn func(switchfab.Packet) bool
 
 	met    Report
+	cls    [switchfab.NumClasses]clsAccum
 	latSum int
 	wall   time.Duration
 }
@@ -197,14 +228,24 @@ func New(pl *payload.Payload, cfg Config, terminals []Terminal) (*Engine, error)
 		return nil, fmt.Errorf("traffic: plan has %d carriers, frame has %d", plan.Carriers, cfg.Frame.Carriers)
 	}
 
-	e := &Engine{
-		pl:     pl,
-		tx:     payload.NewTransmitter(pl, plan),
-		sched:  modem.NewSlotScheduler(cfg.Frame),
-		cfg:    cfg,
-		queues: make([][]qpkt, cfg.Frame.Carriers),
-		grid:   make([][][]byte, cfg.Frame.Carriers),
+	if cfg.Scheduler == nil {
+		cfg.Scheduler = switchfab.FIFO{}
 	}
+	e := &Engine{
+		pl:      pl,
+		tx:      payload.NewTransmitter(pl, plan),
+		sched:   modem.NewSlotScheduler(cfg.Frame),
+		fab:     pl.Switch(),
+		dlsched: cfg.Scheduler,
+		cfg:     cfg,
+		grid:    make([][][]byte, cfg.Frame.Carriers),
+		room:    make([][switchfab.NumClasses]int, cfg.Frame.Carriers),
+	}
+	// The engine is the fabric's exclusive driver for the run: adopting
+	// it clears any previous driver's queues and counters and installs
+	// the per-(beam, class) bound (see the switchfab ownership rule).
+	e.fab.Adopt(cfg.QueueDepth)
+	e.emitFn = e.emitPacket
 	for _, t := range terminals {
 		if err := e.admit(t); err != nil {
 			return nil, err
@@ -214,7 +255,6 @@ func New(pl *payload.Payload, cfg Config, terminals []Terminal) (*Engine, error)
 	for c := range e.grid {
 		e.grid[c] = make([][]byte, cfg.Frame.Slots)
 	}
-	e.met.QueueHighWater = make([]int, cfg.Frame.Carriers)
 	e.mods.New = func() any {
 		return modem.NewBurstModulator(pl.BurstFormat(), 0.35, 4, 10)
 	}
@@ -334,20 +374,50 @@ func (e *Engine) SetTerminalChannel(id string, p *ChannelProfile) error {
 	return nil
 }
 
-// SetQueueDepth rebounds the per-beam downlink queues at a frame
-// boundary. A shrink does not evict packets already queued: the bound
-// applies to subsequent enqueues (and, under Backpressure, to
+// SetQueueDepth rebounds the per-(beam, class) downlink queues at a
+// frame boundary. A shrink does not evict packets already queued: the
+// bound applies to subsequent enqueues (and, under Backpressure, to
 // subsequent admission), so over-deep queues drain naturally.
 func (e *Engine) SetQueueDepth(depth int) error {
 	if depth < 1 {
 		return fmt.Errorf("traffic: queue depth %d, must be at least 1", depth)
 	}
 	e.cfg.QueueDepth = depth
+	e.fab.SetDepth(depth)
 	return nil
 }
 
 // SetQueuePolicy switches the overload policy at a frame boundary.
 func (e *Engine) SetQueuePolicy(p DropPolicy) { e.cfg.Policy = p }
+
+// SetScheduler swaps the downlink scheduler at a frame boundary — the
+// set-scheduler scenario event. Queued packets stay queued; only the
+// order (and share) in which they reach the transmit grid changes. A
+// nil scheduler is an error, not a silent FIFO reset.
+func (e *Engine) SetScheduler(s switchfab.Scheduler) error {
+	if s == nil {
+		return errors.New("traffic: nil downlink scheduler")
+	}
+	e.dlsched = s
+	e.cfg.Scheduler = s
+	return nil
+}
+
+// SetTerminalClass reassigns a terminal's traffic class at a frame
+// boundary — the set-class scenario event. Packets already queued keep
+// the class they were routed with; subsequent uplink packets carry the
+// new marking.
+func (e *Engine) SetTerminalClass(id string, c switchfab.Class) error {
+	if c >= switchfab.NumClasses {
+		return fmt.Errorf("traffic: unknown traffic class %d", c)
+	}
+	ts, err := e.lookup(id)
+	if err != nil {
+		return err
+	}
+	ts.term.Class = c
+	return nil
+}
 
 // lookup finds an active terminal by ID.
 func (e *Engine) lookup(id string) (*termState, error) {
@@ -377,14 +447,18 @@ func (e *Engine) Config() Config { return e.cfg }
 // Frame returns the number of frames processed so far.
 func (e *Engine) Frame() int { return e.frame }
 
-// QueueDepth returns the packets currently queued for a beam, 0 for a
-// beam outside the downlink (no panic: observers probe freely).
+// QueueDepth returns the packets currently queued for a beam across
+// all classes, 0 for a beam outside the downlink (no panic: observers
+// probe freely).
 func (e *Engine) QueueDepth(beam int) int {
-	if beam < 0 || beam >= len(e.queues) {
+	if beam < 0 || beam >= e.cfg.Frame.Carriers {
 		return 0
 	}
-	return len(e.queues[beam])
+	return e.fab.QueueDepth(beam)
 }
+
+// Scheduler returns the downlink scheduler in force.
+func (e *Engine) Scheduler() switchfab.Scheduler { return e.dlsched }
 
 // RunFrames advances the closed loop by n consecutive frames. It may be
 // called repeatedly — e.g. around a ground-initiated reconfiguration —
@@ -438,18 +512,22 @@ func (e *Engine) step() error {
 // dama releases last frame's burst time plan and grants this frame's:
 // every terminal, in population order, requests its model's demand,
 // clipped to the remaining frame capacity (and, under Backpressure, to
-// the room left in its destination beam queue).
+// the room left in its destination (beam, class) queue — admission
+// control is class-aware, so a best-effort backlog throttles only
+// best-effort sources).
 func (e *Engine) dama(f, k int) []uplinkCell {
 	for _, ts := range e.terms {
 		if ts.active {
 			e.sched.Release(ts.term.ID)
 		}
 	}
-	var room []int
+	var room [][switchfab.NumClasses]int
 	if e.cfg.Policy == Backpressure {
-		room = make([]int, len(e.queues))
+		room = e.room
 		for b := range room {
-			room[b] = e.cfg.QueueDepth - len(e.queues[b])
+			for c := 0; c < switchfab.NumClasses; c++ {
+				room[b][c] = e.cfg.QueueDepth - e.fab.ClassQueueDepth(b, switchfab.Class(c))
+			}
 		}
 	}
 	var cells []uplinkCell
@@ -465,14 +543,15 @@ func (e *Engine) dama(f, k int) []uplinkCell {
 			continue
 		}
 		if room != nil {
-			if d > room[t.Beam] {
-				e.met.ThrottledCells += d - max(room[t.Beam], 0)
-				d = room[t.Beam]
+			r := &room[t.Beam][t.Class]
+			if d > *r {
+				e.met.ThrottledCells += d - max(*r, 0)
+				d = *r
 			}
 			if d <= 0 {
 				continue
 			}
-			room[t.Beam] -= d
+			*r -= d
 		}
 		if free := e.sched.Capacity() - e.sched.Allocated(); d > free {
 			e.met.DeniedCells += d - free
@@ -500,9 +579,11 @@ func (e *Engine) dama(f, k int) []uplinkCell {
 	return cells
 }
 
-// uplink modulates the burst time plan into an MF-TDMA frame, passes it
-// through the payload's concurrent receive pipeline and feeds the
-// decoded packets from the switch into the bounded downlink queues.
+// uplink modulates the burst time plan into an MF-TDMA frame and passes
+// it through the payload's concurrent receive pipeline; decoded packets
+// enter the switching fabric's bounded class queues directly (typed
+// with class, terminal and ingress frame), so there is no second
+// engine-owned queue layer to copy into.
 func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 	if len(cells) == 0 {
 		return nil
@@ -514,7 +595,6 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 	}
 	fc := e.fc
 	asgs := make([]modem.SlotAssignment, len(cells))
-	beams := make([]int, len(cells))
 	noisy := e.cfg.EbN0dB > 0
 	esN0 := 0.0
 	if noisy {
@@ -522,10 +602,20 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 	}
 	budget := e.pl.BurstFormat().PayloadBits()
 	const uplinkSPS = 4
+	k := len(cells[0].info)
+	e.metas = e.metas[:0]
+	for _, c := range cells {
+		e.metas = append(e.metas, payload.RouteMeta{
+			Beam:     c.term.term.Beam,
+			Class:    c.term.term.Class,
+			Term:     c.term,
+			Ingress:  f,
+			InfoBits: k,
+		})
+	}
 	pipeline.ForEach(len(cells), func(i int) {
 		c := cells[i]
 		asgs[i] = c.asg
-		beams[i] = c.term.term.Beam
 		coded := codec.Encode(c.info)
 		padded := make([]byte, budget)
 		copy(padded, coded)
@@ -560,13 +650,7 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 		fc.PlaceBurst(c.asg, wave)
 	})
 
-	receipts := e.pl.ReceiveFrameAndRoute(fc, asgs, beams)
-	drained := make(map[int][][]byte)
-	for _, b := range e.pl.Switch().Beams() {
-		drained[b] = e.pl.Switch().Drain(b)
-	}
-	next := make(map[int]int)
-	k := len(cells[0].info)
+	receipts := e.pl.ReceiveFrameAndRouteQoS(fc, asgs, e.metas)
 	for i, r := range receipts {
 		e.met.UplinkBursts++
 		// Only receipts whose demodulation actually ran carry sync
@@ -590,64 +674,27 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 		}
 		e.met.UplinkBitErrs += fec.CountBitErrors(cells[i].info, r.Bits[:k])
 		cells[i].term.stat.UplinkBits += k
-
-		b := beams[i]
-		pkts := drained[b]
-		if next[b] >= len(pkts) {
-			return fmt.Errorf("traffic: switch under-delivered for beam %d", b)
-		}
-		bits := payload.PackInfoBits(pkts[next[b]], k)
-		next[b]++
-		if len(e.queues[b]) >= e.cfg.QueueDepth {
-			e.met.DroppedQueue++
-			continue
-		}
-		e.queues[b] = append(e.queues[b], qpkt{bits: bits, term: cells[i].term, ingress: f})
-		if d := len(e.queues[b]); d > e.met.QueueHighWater[b] {
-			e.met.QueueHighWater[b] = d
-		}
+		// Queue-full tail drops happened inside the fabric, per class;
+		// Metrics folds its counters into the report.
 	}
 	return nil
 }
 
-// downlink drains up to one packet per (carrier, slot) cell from the
-// beam queues into the transmit grid, transmits the wideband frame and,
-// when configured, verifies it on a ground receiver.
+// downlink fills each beam's slot budget from the fabric's class
+// queues through the pluggable scheduler — packets pop straight into
+// the transmit grid, no intermediate drain — transmits the wideband
+// frame and, when configured, verifies it on a ground receiver.
 func (e *Engine) downlink(f int, codec fec.Codec) error {
-	budget := e.pl.BurstFormat().PayloadBits()
 	e.sent = e.sent[:0]
+	e.fill.frame = f
+	e.fill.codec = codec
+	e.fill.budget = e.pl.BurstFormat().PayloadBits()
 	for b := 0; b < e.cfg.Frame.Carriers; b++ {
 		for s := range e.grid[b] {
 			e.grid[b][s] = nil
 		}
-		q := e.queues[b]
-		slot := 0
-		popped := 0
-		for _, p := range q {
-			if slot >= e.cfg.Frame.Slots {
-				break
-			}
-			popped++
-			if codec.EncodedLen(len(p.bits)) > budget {
-				// A codec swap shrank the burst capacity below this
-				// packet's codeword; it can never be re-encoded.
-				e.met.DroppedReencode++
-				continue
-			}
-			e.grid[b][slot] = p.bits
-			e.sent = append(e.sent, sentCell{pkt: p, cell: modem.SlotAssignment{Carrier: b, Slot: slot}})
-			slot++
-
-			lat := f - p.ingress
-			e.latSum += lat
-			if lat > e.met.LatencyMax {
-				e.met.LatencyMax = lat
-			}
-			e.met.DeliveredPackets++
-			e.met.DeliveredBits += len(p.bits)
-			p.term.stat.DeliveredBits += len(p.bits)
-		}
-		e.queues[b] = append(e.queues[b][:0], q[popped:]...)
+		e.fill.beam, e.fill.slot = b, 0
+		e.fab.Schedule(e.dlsched, b, e.cfg.Frame.Slots, e.emitFn)
 	}
 
 	wide, err := e.tx.TransmitFrameGrid(e.cfg.Frame, e.grid)
@@ -659,6 +706,42 @@ func (e *Engine) downlink(f int, codec fec.Codec) error {
 	}
 	dsp.PutVec(wide)
 	return nil
+}
+
+// emitPacket is the scheduler's emit hook (preallocated as e.emitFn so
+// the per-frame fill path does not close over loop state): it places a
+// scheduled packet into the transmit grid cell the fill state points
+// at and accounts delivery and latency, or discards a packet whose
+// codeword no longer fits a burst after a codec swap (no slot used).
+func (e *Engine) emitPacket(p switchfab.Packet) bool {
+	if e.fill.codec.EncodedLen(len(p.Bits)) > e.fill.budget {
+		e.met.DroppedReencode++
+		e.cls[p.Class].reencode++
+		return false
+	}
+	b, s := e.fill.beam, e.fill.slot
+	e.grid[b][s] = p.Bits
+	e.sent = append(e.sent, sentCell{pkt: p, cell: modem.SlotAssignment{Carrier: b, Slot: s}})
+	e.fill.slot++
+
+	lat := e.fill.frame - p.Ingress
+	e.latSum += lat
+	if lat > e.met.LatencyMax {
+		e.met.LatencyMax = lat
+	}
+	cls := &e.cls[p.Class]
+	cls.delivered++
+	cls.bits += len(p.Bits)
+	cls.latSum += lat
+	if lat > cls.latMax {
+		cls.latMax = lat
+	}
+	e.met.DeliveredPackets++
+	e.met.DeliveredBits += len(p.Bits)
+	if ts, ok := p.Term.(*termState); ok {
+		ts.stat.DeliveredBits += len(p.Bits)
+	}
+	return true
 }
 
 // verify demodulates the transmitted wideband block on a ground receiver
@@ -687,7 +770,7 @@ func (e *Engine) verify(wide dsp.Vec, codec fec.Codec) {
 			outs[i] = outcome{lost: true}
 			return
 		}
-		bits := sc.pkt.bits
+		bits := sc.pkt.Bits
 		hard := modem.HardBits(res.Soft)
 		dec := codec.Decode(fec.HardLLR(hard)[:codec.EncodedLen(len(bits))])
 		outs[i] = outcome{bitErrs: fec.CountBitErrors(bits, dec[:len(bits)])}
@@ -704,13 +787,46 @@ func (e *Engine) verify(wide dsp.Vec, codec fec.Codec) {
 	}
 }
 
+// snapshotQueues folds the fabric-side accounting into a report
+// snapshot: total tail drops, per-beam high-water marks, and the
+// per-class reduction of queue and delivery stats.
+func (e *Engine) snapshotQueues(r *Report) {
+	cc := e.fab.ClassCounters()
+	dropped := 0
+	r.PerClass = make([]ClassStats, switchfab.NumClasses)
+	for c := 0; c < switchfab.NumClasses; c++ {
+		a := e.cls[c]
+		dropped += cc[c].Dropped
+		cs := ClassStats{
+			Class:            switchfab.Class(c).String(),
+			RoutedPackets:    cc[c].Routed,
+			DroppedQueue:     cc[c].Dropped,
+			DroppedReencode:  a.reencode,
+			DeliveredPackets: a.delivered,
+			DeliveredBits:    a.bits,
+			HighWater:        cc[c].HighWater,
+			LatencySum:       a.latSum,
+			LatencyMax:       a.latMax,
+		}
+		if a.delivered > 0 {
+			cs.LatencyMean = float64(a.latSum) / float64(a.delivered)
+		}
+		r.PerClass[c] = cs
+	}
+	r.DroppedQueue = dropped
+	r.QueueHighWater = make([]int, e.cfg.Frame.Carriers)
+	for b := range r.QueueHighWater {
+		r.QueueHighWater[b] = e.fab.HighWater(b)
+	}
+}
+
 // Metrics returns a snapshot of the raw run counters — cheap enough to
 // take every frame (no per-terminal reduction), which is how the
 // scenario runtime computes per-frame deltas for its observers.
 func (e *Engine) Metrics() Report {
 	r := e.met
 	r.LatencySum = e.latSum
-	r.QueueHighWater = append([]int(nil), e.met.QueueHighWater...)
+	e.snapshotQueues(&r)
 	return r
 }
 
@@ -725,7 +841,7 @@ func (e *Engine) Report() *Report {
 	if r.DeliveredPackets > 0 {
 		r.LatencyMean = float64(e.latSum) / float64(r.DeliveredPackets)
 	}
-	r.QueueHighWater = append([]int{}, e.met.QueueHighWater...)
+	e.snapshotQueues(&r)
 	r.PerTerminal = make([]TerminalStats, len(e.terms))
 	for i, tsrc := range e.terms {
 		st := tsrc.stat

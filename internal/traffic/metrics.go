@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"repro/internal/modem"
+	"repro/internal/switchfab"
 )
 
 // TerminalStats is the per-terminal slice of the run metrics.
@@ -24,6 +25,26 @@ type TerminalStats struct {
 	MeanAbsCFO  float64 // mean |CFO estimate| (cycles/symbol)
 	MaxAbsCFO   float64 // max |CFO estimate| (cycles/symbol)
 	MinUWMetric float64 // worst unique-word correlation seen
+}
+
+// ClassStats is the per-traffic-class slice of the run metrics: the
+// switching fabric's queue accounting (packets routed, tail drops,
+// per-class queue high-water) merged with the engine's delivery
+// accounting (packets/bits onto the downlink, re-encode drops, latency)
+// for one class. Report.PerClass carries one row per class, indexed by
+// the switchfab class value (BE, AF, EF), so single-class runs read
+// their familiar totals from the BE row.
+type ClassStats struct {
+	Class            string // spec-level class name ("be", "af", "ef")
+	RoutedPackets    int    // packets the fabric enqueued
+	DroppedQueue     int    // packets tail-dropped by a full class queue
+	DroppedReencode  int    // scheduled packets whose codeword no longer fits a burst
+	DeliveredPackets int
+	DeliveredBits    int
+	HighWater        int // peak occupancy of any single beam's queue of this class
+	LatencySum       int // frames, summed over delivered packets
+	LatencyMean      float64
+	LatencyMax       int
 }
 
 // Report is the metrics layer of one engine run. Model-time figures use
@@ -68,7 +89,27 @@ type Report struct {
 	WallSeconds  float64
 	ModelSeconds float64
 
+	// PerClass breaks the downlink queue and delivery figures down by
+	// traffic class (one row per switchfab class, BE first). Populated
+	// by Metrics and Report alike; all-BE runs concentrate in row 0.
+	PerClass []ClassStats
+
 	PerTerminal []TerminalStats
+}
+
+// multiClass reports whether any priority class (AF/EF) saw traffic —
+// the gate for the per-class summary lines (an all-BE run would just
+// repeat the downlink totals).
+func (r *Report) multiClass() bool {
+	if len(r.PerClass) != switchfab.NumClasses {
+		return false
+	}
+	for c := int(switchfab.ClassAF); c < switchfab.NumClasses; c++ {
+		if r.PerClass[c].RoutedPackets > 0 || r.PerClass[c].DroppedQueue > 0 {
+			return true
+		}
+	}
+	return false
 }
 
 // FramesPerSecond returns the wall-clock frame rate of the run.
@@ -115,6 +156,17 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "latency: mean %.2f frames, max %d; queue high water %v\n", r.LatencyMean, r.LatencyMax, r.QueueHighWater)
 	if r.Verified {
 		fmt.Fprintf(&b, "verify: %d bursts lost on ground demod, %d bit errors\n", r.DownlinkLost, r.DownlinkBitErrs)
+	}
+	if r.multiClass() {
+		for c := switchfab.NumClasses - 1; c >= 0; c-- { // EF first
+			cs := r.PerClass[c]
+			if cs.RoutedPackets == 0 && cs.DroppedQueue == 0 {
+				continue
+			}
+			fmt.Fprintf(&b, "  class %-2s routed %5d delivered %5d (%7d bits), %d queue drops, latency mean %.2f max %d, high water %d\n",
+				cs.Class, cs.RoutedPackets, cs.DeliveredPackets, cs.DeliveredBits,
+				cs.DroppedQueue, cs.LatencyMean, cs.LatencyMax, cs.HighWater)
+		}
 	}
 	for _, ts := range r.PerTerminal {
 		fmt.Fprintf(&b, "  %-10s %-14s offered %4d granted %4d uplink %6d bits delivered %6d bits",

@@ -3,15 +3,21 @@
 // DAMA-style capacity requests against the return-link slot scheduler
 // each frame, the resulting burst time plan is pushed through the full
 // regenerative loop (demodulate - decode - switch - re-encode -
-// remodulate), and per-beam downlink queues with a bounded depth and a
-// drop/backpressure policy couple the receive and transmit sections.
+// remodulate), and the payload's sharded switching fabric — bounded
+// per-(beam, class) queues with drop/backpressure accounting and a
+// pluggable downlink scheduler (FIFO, strict priority, DRR) — couples
+// the receive and transmit sections as the single downlink queue.
 // The engine is the repo's sustained-load harness: everything is a pure
 // function of the configuration and seed, so a run is reproducible
 // frame for frame, and a metrics layer reports throughput, latency,
-// queue depths and losses per run.
+// queue depths and losses per run and per traffic class.
 package traffic
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/switchfab"
+)
 
 // Model is a deterministic traffic source: the number of (carrier, slot)
 // cells a terminal requests for frame f. Implementations must be pure
@@ -107,11 +113,14 @@ func (p *ChannelProfile) Impaired() bool {
 }
 
 // Terminal is one user terminal of the population: a traffic model, the
-// downlink beam its packets are switched to, and an optional uplink
-// channel profile (nil = ideal channel, engine-wide AWGN only).
+// downlink beam its packets are switched to, the traffic class its
+// packets carry through the switching fabric (the zero value is best
+// effort, so pre-QoS populations are single-class), and an optional
+// uplink channel profile (nil = ideal channel, engine-wide AWGN only).
 type Terminal struct {
 	ID      string
 	Beam    int
+	Class   switchfab.Class
 	Model   Model
 	Channel *ChannelProfile
 }
