@@ -6,14 +6,20 @@
 // and its impaired twin (the burst-sync-chain overhead is the delta
 // between the two), the scenario-session presets riding the same
 // populations (the session-layer overhead is the delta to the raw
-// engine benches), and the switching fabric (sharded vs single-lock
+// engine benches), the switching fabric (sharded vs single-lock
 // routing under concurrent workers, plus the per-scheduler slot-fill
-// cost whose 0 B/op column pins the allocation-free fill path). CI
-// runs the 1x smoke variant on every push; full runs use the go test
-// defaults:
+// cost whose 0 B/op column pins the allocation-free fill path), and the
+// fast-convolution core (FFT plan sizes, overlap-save vs scalar FIR
+// across the crossover).
 //
-//	go run ./cmd/benchjson -out BENCH_PR5.json
-//	go run ./cmd/benchjson -benchtime 1x -out BENCH_PR5.json   # smoke
+// Each benchmark set runs once per GOMAXPROCS width — 1 (the
+// single-core figure PR acceptance gates compare) and NumCPU (the
+// pipeline-scaling figure) — and every result records the width it ran
+// at. CI runs the 1x smoke variant on every push; full runs use the go
+// test defaults:
+//
+//	go run ./cmd/benchjson -out BENCH_PR6.json
+//	go run ./cmd/benchjson -benchtime 1x -out BENCH_PR6.json   # smoke
 package main
 
 import (
@@ -31,24 +37,27 @@ import (
 	"time"
 )
 
-// Result is one benchmark measurement.
+// Result is one benchmark measurement at one GOMAXPROCS width.
 type Result struct {
 	Package     string  `json:"package"`
 	Name        string  `json:"name"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// File is the BENCH_PRn.json layout.
+// File is the BENCH_PRn.json layout. NumCPU records the host width the
+// widest sweep entry ran at; per-result widths live on each Result.
 type File struct {
-	Generated  string   `json:"generated"`
-	GoVersion  string   `json:"go_version"`
-	GOMAXPROCS int      `json:"gomaxprocs"`
-	Pattern    string   `json:"pattern"`
-	Benchtime  string   `json:"benchtime,omitempty"`
-	Results    []Result `json:"results"`
+	Generated string   `json:"generated"`
+	GoVersion string   `json:"go_version"`
+	NumCPU    int      `json:"num_cpu"`
+	Widths    []int    `json:"gomaxprocs_widths"`
+	Pattern   string   `json:"pattern"`
+	Benchtime string   `json:"benchtime,omitempty"`
+	Results   []Result `json:"results"`
 }
 
 // benchLine matches `BenchmarkName-8  100  12345 ns/op  67 B/op  8 allocs/op`
@@ -56,30 +65,38 @@ type File struct {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	pattern := flag.String("bench", "BenchmarkProcessFrame|BenchmarkTransmitFrameGrid|BenchmarkTrafficEngine|BenchmarkScenarioSession|BenchmarkSwitchFabric|BenchmarkSchedulerFill|ProcessInto|BenchmarkE10",
-		"benchmark regexp (the pipeline + traffic + scenario + switch-fabric set by default)")
+	pattern := flag.String("bench", "BenchmarkProcessFrame|BenchmarkTransmitFrameGrid|BenchmarkTrafficEngine|BenchmarkScenarioSession|BenchmarkSwitchFabric|BenchmarkSchedulerFill|BenchmarkFFT|BenchmarkFastFIRvsScalar|ProcessInto|BenchmarkE10",
+		"benchmark regexp (the pipeline + traffic + scenario + switch-fabric + fast-convolution set by default)")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (e.g. 1x for a smoke run)")
 	pkgs := flag.String("pkgs", ".,./internal/dsp", "comma-separated packages to bench")
-	out := flag.String("out", "BENCH_PR5.json", "output file")
+	widthsFlag := flag.String("gomaxprocs", "", "comma-separated GOMAXPROCS widths (default: 1 and NumCPU)")
+	out := flag.String("out", "BENCH_PR6.json", "output file")
 	flag.Parse()
 
-	file := File{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		GoVersion:  runtime.Version(),
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
-		Pattern:    *pattern,
-		Benchtime:  *benchtime,
+	widths, err := parseWidths(*widthsFlag)
+	if err != nil {
+		log.Fatal(err)
 	}
-	for _, pkg := range strings.Split(*pkgs, ",") {
-		pkg = strings.TrimSpace(pkg)
-		if pkg == "" {
-			continue
+	file := File{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+		Widths:    widths,
+		Pattern:   *pattern,
+		Benchtime: *benchtime,
+	}
+	for _, w := range widths {
+		for _, pkg := range strings.Split(*pkgs, ",") {
+			pkg = strings.TrimSpace(pkg)
+			if pkg == "" {
+				continue
+			}
+			res, err := runPackage(pkg, *pattern, *benchtime, w)
+			if err != nil {
+				log.Fatalf("%s (GOMAXPROCS=%d): %v", pkg, w, err)
+			}
+			file.Results = append(file.Results, res...)
 		}
-		res, err := runPackage(pkg, *pattern, *benchtime)
-		if err != nil {
-			log.Fatalf("%s: %v", pkg, err)
-		}
-		file.Results = append(file.Results, res...)
 	}
 	if len(file.Results) == 0 {
 		log.Fatalf("no benchmarks matched %q in %s", *pattern, *pkgs)
@@ -95,14 +112,37 @@ func main() {
 	fmt.Printf("wrote %d results to %s\n", len(file.Results), *out)
 }
 
-// runPackage benches one package and parses the text output.
-func runPackage(pkg, pattern, benchtime string) ([]Result, error) {
+// parseWidths resolves the -gomaxprocs flag: explicit comma-separated
+// widths, or the default {1, NumCPU} sweep (collapsed to {1} on a
+// single-core host, where the two widths are the same measurement).
+func parseWidths(s string) ([]int, error) {
+	if s == "" {
+		if n := runtime.NumCPU(); n > 1 {
+			return []int{1, n}, nil
+		}
+		return []int{1}, nil
+	}
+	var widths []int
+	for _, f := range strings.Split(s, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || w < 1 {
+			return nil, fmt.Errorf("bad -gomaxprocs entry %q", f)
+		}
+		widths = append(widths, w)
+	}
+	return widths, nil
+}
+
+// runPackage benches one package at the given GOMAXPROCS width and
+// parses the text output.
+func runPackage(pkg, pattern, benchtime string, gomaxprocs int) ([]Result, error) {
 	args := []string{"test", "-run", "^$", "-bench", pattern, "-benchmem"}
 	if benchtime != "" {
 		args = append(args, "-benchtime", benchtime)
 	}
 	args = append(args, pkg)
 	cmd := exec.Command("go", args...)
+	cmd.Env = append(os.Environ(), fmt.Sprintf("GOMAXPROCS=%d", gomaxprocs))
 	var buf bytes.Buffer
 	cmd.Stdout = &buf
 	cmd.Stderr = os.Stderr
@@ -115,7 +155,7 @@ func runPackage(pkg, pattern, benchtime string) ([]Result, error) {
 		if m == nil {
 			continue
 		}
-		r := Result{Package: pkg, Name: m[1]}
+		r := Result{Package: pkg, Name: m[1], GOMAXPROCS: gomaxprocs}
 		r.Iterations, _ = strconv.Atoi(m[2])
 		r.NsPerOp, _ = strconv.ParseFloat(m[3], 64)
 		if m[4] != "" {

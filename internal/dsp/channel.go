@@ -32,6 +32,14 @@ type Channel struct {
 	TimingOffset float64
 	// Gain scales the signal before noise.
 	Gain float64
+
+	// delayScratch backs the in-place fractional-delay interpolation so
+	// a recycled channel instance (e.g. from an engine's channel pool)
+	// applies timing offsets without per-block allocation.
+	delayScratch Vec
+	// nco drives the phase/frequency rotation; reused across ApplyInPlace
+	// calls (reinitialized per block, so behaviour matches a fresh NCO).
+	nco NCO
 }
 
 // NewChannel creates a channel with the given deterministic seed and
@@ -54,23 +62,39 @@ func NewChannelWith(seed int64, esn0dB float64, sps int) *Channel {
 	return c
 }
 
+// Reseed reinitializes the channel's noise generator to the given seed —
+// the recycled-instance equivalent of constructing a fresh channel, with
+// an identical subsequent random stream. Engines that apply one
+// deterministic per-burst channel draw a pooled instance, Reseed it, and
+// avoid the per-burst generator allocation.
+func (c *Channel) Reseed(seed int64) { c.rng.Seed(seed) }
+
 // Apply passes the block through the configured impairments in order:
-// gain, timing offset, phase/frequency rotation, AWGN.
+// gain, timing offset, phase/frequency rotation, AWGN. The input block
+// is left untouched.
 func (c *Channel) Apply(in Vec) Vec {
-	out := in.Clone()
+	return c.ApplyInPlace(in.Clone())
+}
+
+// ApplyInPlace is Apply operating directly on the caller's block —
+// the burst path writes modulated waveforms straight into frame slot
+// buffers and impairs them there, so no per-burst waveform clone exists.
+// The fractional-delay stage interpolates out of a channel-owned scratch
+// copy; output is identical to Apply.
+func (c *Channel) ApplyInPlace(v Vec) Vec {
 	if c.Gain != 1 {
-		out.Scale(complex(c.Gain, 0))
+		v.Scale(complex(c.Gain, 0))
 	}
 	if c.TimingOffset != 0 {
-		out = fractionalDelay(out, c.TimingOffset)
+		c.fractionalDelayInPlace(v, c.TimingOffset)
 	}
 	if c.PhaseOffset != 0 || c.FreqOffset != 0 {
-		nco := NewNCO(c.FreqOffset, c.PhaseOffset)
-		out = nco.Mix(out)
+		c.nco = NCO{freq: c.FreqOffset, phase: c.PhaseOffset}
+		c.nco.MixInto(v, v)
 	}
-	c.addNoise(out)
+	c.addNoise(v)
 	c.FreqOffset += c.FreqDrift
-	return out
+	return v
 }
 
 // addNoise adds complex AWGN sized for the configured Es/N0 against the
@@ -107,18 +131,23 @@ func (c *Channel) AWGN(v Vec, variance float64) {
 	}
 }
 
-// fractionalDelay shifts the block by mu samples using cubic
-// interpolation; the first output sample corresponds to input position
-// mu. The integer part of mu becomes a whole-sample index shift and only
-// the fractional remainder (always normalized into [0, 1)) is
+// fractionalDelayInPlace shifts the block by mu samples in place using
+// cubic interpolation; the first output sample corresponds to input
+// position mu. The integer part of mu becomes a whole-sample index shift
+// and only the fractional remainder (always normalized into [0, 1)) is
 // interpolated, so negative and >= 1 offsets are handled exactly rather
 // than extrapolating the cubic outside its design range. The block edges
-// clamp to the first/last sample, matching Farrow.InterpAt.
-func fractionalDelay(in Vec, mu float64) Vec {
+// clamp to the first/last sample, matching Farrow.InterpAt. The input
+// snapshot lives in the channel-owned scratch buffer.
+func (c *Channel) fractionalDelayInPlace(v Vec, mu float64) {
+	if cap(c.delayScratch) < len(v) {
+		c.delayScratch = make(Vec, len(v))
+	}
+	in := c.delayScratch[:len(v)]
+	copy(in, v)
 	shift := int(math.Floor(mu))
 	frac := mu - float64(shift) // in [0, 1)
 	var f Farrow
-	out := NewVec(len(in))
 	idx := func(k int) complex128 {
 		if k < 0 {
 			k = 0
@@ -128,11 +157,10 @@ func fractionalDelay(in Vec, mu float64) Vec {
 		}
 		return in[k]
 	}
-	for i := range out {
+	for i := range v {
 		base := i + shift
-		out[i] = f.Interp(idx(base-1), idx(base), idx(base+1), idx(base+2), frac)
+		v[i] = f.Interp(idx(base-1), idx(base), idx(base+1), idx(base+2), frac)
 	}
-	return out
 }
 
 // EbN0ToEsN0 converts Eb/N0 (dB) to Es/N0 (dB) for bitsPerSymbol and code

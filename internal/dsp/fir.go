@@ -10,6 +10,11 @@ type FIR struct {
 	taps []float64
 	hist Vec // most recent len(taps)-1 inputs, oldest first
 	ext  Vec // scratch: history ++ input, reused across calls
+
+	// fast holds the lazily built overlap-save state (fastfir.go) used
+	// when the taps and block length clear the crossover heuristic. Like
+	// hist/ext it serves one stream at a time.
+	fast *fastFIRState
 }
 
 // NewFIR builds a streaming filter from taps. The taps slice is copied.
@@ -62,14 +67,23 @@ func (f *FIR) ProcessInto(dst, in Vec) Vec {
 	copy(ext[len(f.hist):], in)
 
 	dst = dst[:len(in)]
-	for i := range in {
-		// Output sample i uses ext[i .. i+n-1]; taps reversed.
-		var acc complex128
-		base := i
-		for j := 0; j < n; j++ {
-			acc += ext[base+j] * complex(f.taps[n-1-j], 0)
+	if n >= fastFIRMinTaps && len(in) >= fastFIRMinBlock && fastConvolution.Load() {
+		// Long filter on a long block: evaluate as frequency-domain
+		// products (overlap-save) instead of the dense scalar loop.
+		if f.fast == nil {
+			f.fast = newFastFIRState(f.taps)
 		}
-		dst[i] = acc
+		f.fast.processOverlapSave(dst, ext, n)
+	} else {
+		for i := range in {
+			// Output sample i uses ext[i .. i+n-1]; taps reversed.
+			var acc complex128
+			base := i
+			for j := 0; j < n; j++ {
+				acc += ext[base+j] * complex(f.taps[n-1-j], 0)
+			}
+			dst[i] = acc
+		}
 	}
 	// Save new history.
 	if len(ext) >= n-1 {
@@ -84,8 +98,20 @@ func (f *FIR) GroupDelay() float64 { return float64(len(f.taps)-1) / 2 }
 // LowpassTaps designs a windowed-sinc linear-phase lowpass FIR with the
 // given normalized cutoff (cycles/sample, 0 < cutoff < 0.5) and ntaps taps
 // (odd recommended), using a Hamming window. Taps are normalized to unity
-// DC gain.
+// DC gain. Designs are cached by (cutoff, ntaps); the returned slice is
+// the caller's copy.
 func LowpassTaps(cutoff float64, ntaps int) []float64 {
+	key := lowpassKey{cutoff, ntaps}
+	if m, ok := lowpassTapCache.Load(key); ok {
+		return copyTaps(m.([]float64))
+	}
+	taps := designLowpassTaps(cutoff, ntaps)
+	master, _ := lowpassTapCache.LoadOrStore(key, taps)
+	return copyTaps(master.([]float64))
+}
+
+// designLowpassTaps computes a lowpass design (uncached).
+func designLowpassTaps(cutoff float64, ntaps int) []float64 {
 	if cutoff <= 0 || cutoff >= 0.5 {
 		panic("dsp: LowpassTaps cutoff must be in (0, 0.5)")
 	}

@@ -1,6 +1,36 @@
 package dsp
 
-import "math"
+import (
+	"math"
+	"sync"
+)
+
+// Filter-design cache: pooled demodulators and modulators are rebuilt
+// whenever a scenario event reconfigures the sync chain, and every
+// rebuild used to redesign identical RRC/lowpass taps from scratch.
+// Designs are pure functions of their parameters, so they are computed
+// once per parameter set and served as copies (callers own and may
+// mutate what they get back, NewFIR copies again anyway).
+type rrcKey struct {
+	beta      float64
+	sps, span int
+}
+
+type lowpassKey struct {
+	cutoff float64
+	ntaps  int
+}
+
+var (
+	rrcTapCache     sync.Map // rrcKey -> []float64 (immutable master)
+	lowpassTapCache sync.Map // lowpassKey -> []float64 (immutable master)
+)
+
+func copyTaps(master []float64) []float64 {
+	out := make([]float64, len(master))
+	copy(out, master)
+	return out
+}
 
 // RRCTaps designs a root-raised-cosine pulse-shaping filter.
 //
@@ -10,8 +40,20 @@ import "math"
 //
 // The taps are normalized to unit energy so that a matched pair
 // (transmit RRC, receive RRC) yields a raised-cosine Nyquist pulse with
-// unity peak at the optimum sampling instant.
+// unity peak at the optimum sampling instant. Designs are cached by
+// (beta, sps, span); the returned slice is the caller's copy.
 func RRCTaps(beta float64, sps, span int) []float64 {
+	key := rrcKey{beta, sps, span}
+	if m, ok := rrcTapCache.Load(key); ok {
+		return copyTaps(m.([]float64))
+	}
+	taps := designRRCTaps(beta, sps, span)
+	master, _ := rrcTapCache.LoadOrStore(key, taps)
+	return copyTaps(master.([]float64))
+}
+
+// designRRCTaps computes an RRC design (uncached).
+func designRRCTaps(beta float64, sps, span int) []float64 {
 	if beta <= 0 || beta > 1 {
 		panic("dsp: RRCTaps beta must be in (0, 1]")
 	}

@@ -1,6 +1,9 @@
 package fec
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Convolutional coding per the UMTS multiplexing/coding spec the paper
 // cites ([4], 3G TS 25.212): constraint length K=9, rate 1/2 with generator
@@ -8,12 +11,58 @@ import "fmt"
 // Encoding is zero-terminated: K-1 tail bits flush the encoder so the
 // Viterbi decoder can start and end in state 0.
 
+// maxConvOutputs bounds the outputs-per-input-bit (1/rate) so the
+// Viterbi pattern-metric table can live on the stack.
+const maxConvOutputs = 4
+
 // ConvCode describes a feed-forward convolutional code.
 type ConvCode struct {
 	name string
 	k    int      // constraint length
 	gens []uint32 // generator polynomials, MSB = current input bit
+
+	tr     convTrellis // precomputed successor/output tables
+	vsPool sync.Pool   // *viterbiScratch, shared by concurrent decoders
 }
+
+// convTrellis holds the flat per-(state, input) successor and packed
+// output-pattern tables, indexed by state<<1|input. Patterns pack the n
+// coded bits little-endian (output j in bit j) and index the per-step
+// pattern-metric table in viterbi.
+type convTrellis struct {
+	to  []int32
+	pat []uint8
+}
+
+// trellis returns the precomputed tables (built in NewConvCode).
+func (c *ConvCode) trellis() *convTrellis { return &c.tr }
+
+// viterbiScratch is the pooled working set of one Viterbi decode: path
+// metric double buffer plus the flat survivor matrix.
+type viterbiScratch struct {
+	pm, next []float64
+	sv       []int32
+}
+
+// getViterbiScratch leases a scratch sized for the given step count.
+func (c *ConvCode) getViterbiScratch(steps int) *viterbiScratch {
+	states := c.NumStates()
+	vs, _ := c.vsPool.Get().(*viterbiScratch)
+	if vs == nil {
+		vs = &viterbiScratch{
+			pm:   make([]float64, states),
+			next: make([]float64, states),
+		}
+	}
+	if need := steps * states; cap(vs.sv) < need {
+		vs.sv = make([]int32, need)
+	} else {
+		vs.sv = vs.sv[:need]
+	}
+	return vs
+}
+
+func (c *ConvCode) putViterbiScratch(vs *viterbiScratch) { c.vsPool.Put(vs) }
 
 // NewConvCode builds a code from a constraint length and generator
 // polynomials given in octal-as-integer form (e.g. 0o561).
@@ -29,16 +78,47 @@ func NewConvCode(name string, constraintLen int, gens ...uint32) *ConvCode {
 			panic(fmt.Sprintf("fec: generator %o too wide for K=%d", g, constraintLen))
 		}
 	}
+	if len(gens) > maxConvOutputs {
+		panic("fec: too many generator polynomials")
+	}
 	gs := make([]uint32, len(gens))
 	copy(gs, gens)
-	return &ConvCode{name: name, k: constraintLen, gens: gs}
+	c := &ConvCode{name: name, k: constraintLen, gens: gs}
+	// Precompute the trellis: successor state and packed output pattern
+	// for every (state, input) pair, so neither the encoder nor the
+	// decoder computes generator parities per bit.
+	states := c.NumStates()
+	c.tr.to = make([]int32, states*2)
+	c.tr.pat = make([]uint8, states*2)
+	for s := 0; s < states; s++ {
+		for b := 0; b < 2; b++ {
+			reg := uint32(b)<<uint(c.k-1) | uint32(s)
+			var pat uint8
+			for i, g := range gs {
+				pat |= parity(reg&g) << uint(i)
+			}
+			c.tr.to[s<<1|b] = int32(reg >> 1)
+			c.tr.pat[s<<1|b] = pat
+		}
+	}
+	return c
 }
 
+// The UMTS codes are shared singletons: a ConvCode is immutable after
+// construction and its decode scratch pool is concurrency-safe, so every
+// caller resolving a codec by design name (which happens per decoded
+// burst on the payload hot path) gets the same instance and the same
+// warm scratch pool instead of rebuilding trellis tables per call.
+var (
+	umtsConvHalf  = NewConvCode("conv-r1/2-k9", 9, 0o561, 0o753)
+	umtsConvThird = NewConvCode("conv-r1/3-k9", 9, 0o557, 0o663, 0o711)
+)
+
 // UMTSConvHalf returns the UMTS K=9 rate-1/2 code.
-func UMTSConvHalf() *ConvCode { return NewConvCode("conv-r1/2-k9", 9, 0o561, 0o753) }
+func UMTSConvHalf() *ConvCode { return umtsConvHalf }
 
 // UMTSConvThird returns the UMTS K=9 rate-1/3 code.
-func UMTSConvThird() *ConvCode { return NewConvCode("conv-r1/3-k9", 9, 0o557, 0o663, 0o711) }
+func UMTSConvThird() *ConvCode { return umtsConvThird }
 
 // Name implements Codec.
 func (c *ConvCode) Name() string { return c.name }
@@ -65,34 +145,37 @@ func parity(x uint32) byte {
 	return byte(x & 1)
 }
 
-// outputs returns the n coded bits emitted for the given shift register
-// contents (register holds the current input in the MSB position).
-func (c *ConvCode) outputs(reg uint32) []byte {
-	out := make([]byte, len(c.gens))
-	for i, g := range c.gens {
-		out[i] = parity(reg & g)
-	}
-	return out
-}
-
 // Encode implements Codec: zero-terminated convolutional encoding.
 func (c *ConvCode) Encode(info []byte) []byte {
-	out := make([]byte, 0, c.EncodedLen(len(info)))
-	var reg uint32 // bits newest at MSB position k-1
-	push := func(b byte) {
-		reg = (reg >> 1) | uint32(b)<<uint(c.k-1)
-		out = append(out, c.outputs(reg)...)
+	return c.AppendEncode(make([]byte, 0, c.EncodedLen(len(info))), info)
+}
+
+// AppendEncode appends the zero-terminated encoding of info to dst and
+// returns the extended slice — the allocation-free fast path for callers
+// that own a scratch buffer (the payload transmitter and traffic engine
+// encode every burst through it). Runs entirely off the precomputed
+// trellis tables: one table lookup per input bit, no per-bit parity work.
+func (c *ConvCode) AppendEncode(dst []byte, info []byte) []byte {
+	n := len(c.gens)
+	state := 0
+	push := func(b int) {
+		idx := state<<1 | b
+		pat := c.tr.pat[idx]
+		state = int(c.tr.to[idx])
+		for j := 0; j < n; j++ {
+			dst = append(dst, pat>>uint(j)&1)
+		}
 	}
 	for _, b := range info {
 		if b > 1 {
 			panic("fec: Encode input bits must be 0 or 1")
 		}
-		push(b)
+		push(int(b))
 	}
 	for i := 0; i < c.k-1; i++ { // tail
 		push(0)
 	}
-	return out
+	return dst
 }
 
 // Decode implements Codec using soft-decision Viterbi decoding over LLRs

@@ -28,6 +28,25 @@ type Codec interface {
 	EncodedLen(k int) int
 }
 
+// AppendEncoder is implemented by codecs that can encode into a
+// caller-owned buffer without allocating (see ConvCode.AppendEncode).
+type AppendEncoder interface {
+	// AppendEncode appends the encoding of info to dst and returns the
+	// extended slice.
+	AppendEncode(dst, info []byte) []byte
+}
+
+// AppendEncode encodes info with c into dst, using the codec's
+// allocation-free fast path when it has one and falling back to
+// Encode+append otherwise. Hot paths that own an encode scratch buffer
+// call this instead of Encode.
+func AppendEncode(c Codec, dst, info []byte) []byte {
+	if ae, ok := c.(AppendEncoder); ok {
+		return ae.AppendEncode(dst, info)
+	}
+	return append(dst, c.Encode(info)...)
+}
+
 // Uncoded is the pass-through scheme ("some transmissions can accept a
 // non-coded mode", §2.3).
 type Uncoded struct{}

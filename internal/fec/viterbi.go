@@ -10,64 +10,65 @@ import "math"
 // The trellis state is the K-1 most recent input bits (newest in the MSB);
 // for input b the full register is b<<(K-1)|state and the successor state
 // is that register shifted right by one.
+//
+// Hot-path layout: branch successors and output patterns are precomputed
+// per code (see ConvCode.trellis), so the inner loop is a pattern-metric
+// table lookup — the 2^n possible branch outputs are scored once per step
+// against the LLR segment instead of once per branch — and the survivor
+// matrix is a flat pooled array, so a warm decoder allocates only the
+// returned bit slice.
 func viterbi(c *ConvCode, llr []float64, steps int) []byte {
 	n := len(c.gens)
 	states := c.NumStates()
 	const neg = math.MaxFloat64 / 4
+	tr := c.trellis()
 
-	pm := make([]float64, states) // path metrics (maximize)
-	next := make([]float64, states)
+	vs := c.getViterbiScratch(steps)
+	pm, next := vs.pm, vs.next
 	for i := range pm {
 		pm[i] = -neg
 	}
 	pm[0] = 0
 
-	// Precompute branch outputs and successors for every (state, input).
-	type branch struct {
-		to  int
-		out []byte
-	}
-	branches := make([][2]branch, states)
-	for s := 0; s < states; s++ {
-		for b := 0; b < 2; b++ {
-			reg := uint32(b)<<uint(c.k-1) | uint32(s)
-			branches[s][b] = branch{to: int(reg >> 1), out: c.outputs(reg)}
-		}
-	}
-
-	// survivor[t][to] = (from state << 1) | input bit
-	survivor := make([][]int32, steps)
+	survivor := vs.sv // flat: survivor[t*states+to] = from<<1 | bit
+	var bm [1 << maxConvOutputs]float64
 
 	for t := 0; t < steps; t++ {
 		for i := range next {
 			next[i] = -neg
 		}
-		sv := make([]int32, states)
+		sv := survivor[t*states : (t+1)*states]
 		for i := range sv {
 			sv[i] = -1
 		}
 		seg := llr[t*n : (t+1)*n]
+		// Score every possible output pattern once: pattern bit j clear
+		// means coded bit 0 (metric +seg[j]), set means 1 (-seg[j]).
+		npat := 1 << uint(n)
+		for p := 0; p < npat; p++ {
+			var m float64
+			for j := 0; j < n; j++ {
+				if p>>uint(j)&1 == 0 {
+					m += seg[j]
+				} else {
+					m -= seg[j]
+				}
+			}
+			bm[p] = m
+		}
 		for s := 0; s < states; s++ {
 			if pm[s] <= -neg {
 				continue
 			}
 			for b := 0; b < 2; b++ {
-				br := branches[s][b]
-				m := pm[s]
-				for j, e := range br.out {
-					if e == 0 {
-						m += seg[j]
-					} else {
-						m -= seg[j]
-					}
-				}
-				if m > next[br.to] {
-					next[br.to] = m
-					sv[br.to] = int32(s)<<1 | int32(b)
+				to := int(tr.to[s<<1|b])
+				m := pm[s] + bm[tr.pat[s<<1|b]]
+				if m > next[to] {
+					next[to] = m
+					sv[to] = int32(s)<<1 | int32(b)
 				}
 			}
 		}
-		survivor[t] = sv
 		pm, next = next, pm
 	}
 
@@ -86,12 +87,13 @@ func viterbi(c *ConvCode, llr []float64, steps int) []byte {
 		state = best
 	}
 	for t := steps - 1; t >= 0; t-- {
-		sv := survivor[t][state]
+		sv := survivor[t*states+state]
 		if sv < 0 {
 			break
 		}
 		out[t] = byte(sv & 1)
 		state = int(sv >> 1)
 	}
+	c.putViterbiScratch(vs)
 	return out
 }

@@ -74,12 +74,25 @@ type BurstModulator struct {
 	fmt    BurstFormat
 	shaper *dsp.PulseShaper
 	sps    int
+
+	// template caches the preamble + unique-word symbols (identical for
+	// every burst of this format); syms is the per-call symbol scratch.
+	// Both make a recycled modulator's steady state allocation-free.
+	template dsp.Vec
+	syms     dsp.Vec
 }
 
 // NewBurstModulator builds the transmit side at sps samples/symbol with
 // roll-off beta.
 func NewBurstModulator(f BurstFormat, beta float64, sps, span int) *BurstModulator {
-	return &BurstModulator{fmt: f, shaper: dsp.NewPulseShaper(beta, sps, span), sps: sps}
+	template := f.preambleSymbols()
+	template = append(template, f.UWSymbols()...)
+	return &BurstModulator{
+		fmt:      f,
+		shaper:   dsp.NewPulseShaper(beta, sps, span),
+		sps:      sps,
+		template: template,
+	}
 }
 
 // Format returns the burst format.
@@ -93,10 +106,31 @@ func (m *BurstModulator) SPS() int { return m.sps }
 // resets per call, so a recycled instance (e.g. from the transmitter's
 // modulator pool) produces output bit-identical to a fresh one.
 func (m *BurstModulator) Modulate(payload []byte) dsp.Vec {
+	return m.ModulateInto(dsp.NewVec(m.WaveformLen()), payload)
+}
+
+// ModulateInto is the allocation-free variant of Modulate: it shapes the
+// burst directly into dst (at least WaveformLen() samples, e.g. a frame
+// composer's slot buffer) and returns the filled prefix. The symbol
+// assembly reuses the cached preamble/unique-word template and an
+// instance-owned scratch, so a warm modulator touches the heap only via
+// dst.
+func (m *BurstModulator) ModulateInto(dst dsp.Vec, payload []byte) dsp.Vec {
+	if len(payload) != m.fmt.PayloadBits() {
+		panic("modem: payload bit count does not match the burst format")
+	}
 	m.shaper.Reset()
-	syms := m.fmt.Symbols(payload)
-	flush := dsp.NewVec(m.flushSymbols())
-	return m.shaper.Process(append(syms, flush...))
+	total := m.fmt.TotalSymbols() + m.flushSymbols()
+	if cap(m.syms) < total {
+		m.syms = dsp.NewVec(total)
+	}
+	syms := m.syms[:total]
+	copy(syms, m.template)
+	m.fmt.Mod.MapInto(syms[len(m.template):], payload)
+	for i := m.fmt.TotalSymbols(); i < total; i++ {
+		syms[i] = 0 // flush symbols push the last data symbol out
+	}
+	return m.shaper.ProcessInto(dst, syms)
 }
 
 // flushSymbols returns the idle symbols appended to push the last data
@@ -183,6 +217,17 @@ type BurstDemodulator struct {
 	mode TimingMode
 	sps  int
 	sync SyncConfig
+
+	// Cached unique-word symbols and their energy: the UW search runs
+	// per candidate per burst and must not re-map the word each time.
+	uw       dsp.Vec
+	uwEnergy float64
+	// om and the scratch buffers below are instance-owned; a demodulator
+	// serves one burst at a time (pool contract), so reusing them across
+	// Demodulate calls is safe and keeps the warm path allocation-free.
+	om    *OerderMeyr
+	syms  dsp.Vec // timing-recovered symbols
+	derot dsp.Vec // phase-corrected payload symbols
 }
 
 // NewBurstDemodulator builds the receive side with the legacy sync chain
@@ -208,13 +253,19 @@ func NewBurstDemodulatorSync(f BurstFormat, beta float64, sps, span int, mode Ti
 	if sc.UWThreshold == 0 {
 		sc.UWThreshold = DefaultUWThreshold
 	}
-	return &BurstDemodulator{
+	d := &BurstDemodulator{
 		fmt:  f,
 		mf:   dsp.NewMatchedFilter(beta, sps, span),
 		mode: mode,
 		sps:  sps,
 		sync: sc,
+		uw:   f.UWSymbols(),
 	}
+	d.uwEnergy = d.uw.Energy()
+	if mode == TimingOerderMeyr {
+		d.om = NewOerderMeyr(sps)
+	}
+	return d
 }
 
 // Sync returns the demodulator's synchronization configuration.
@@ -235,13 +286,15 @@ func (d *BurstDemodulator) Demodulate(rx dsp.Vec) BurstResult {
 		g := NewGardner(0.05, 0.0005)
 		syms = g.Process(filtered)
 	case TimingOerderMeyr:
-		om := NewOerderMeyr(d.sps)
-		syms, tau = om.Recover(filtered)
+		if n := d.om.MaxSymbols(len(filtered)); cap(d.syms) < n {
+			d.syms = dsp.NewVec(n)
+		}
+		syms, tau = d.om.RecoverInto(d.syms[:cap(d.syms)], filtered)
 	}
 	dsp.PutVec(filtered)
 
 	res := BurstResult{TimingUsed: d.mode, Timing: tau}
-	uw := d.fmt.UWSymbols()
+	uw := d.uw
 	if len(syms) < len(uw)+d.fmt.PayloadLen {
 		return res
 	}
@@ -306,15 +359,18 @@ func (d *BurstDemodulator) Demodulate(rx dsp.Vec) BurstResult {
 
 	payloadStart := bestIdx + len(uw)
 	payload := syms[payloadStart : payloadStart+d.fmt.PayloadLen]
+	if cap(d.derot) < len(payload) {
+		d.derot = dsp.NewVec(len(payload))
+	}
 	var derot dsp.Vec
 	if d.sync.PhaseTrack {
 		// The UW phase is exact only at the unique word; under residual
 		// CFO the payload keeps rotating, so blockwise feedforward
 		// estimates anchored at the UW phase follow it across the
 		// payload.
-		derot = TrackPhaseQPSK(payload, res.Phase)
+		derot = TrackPhaseQPSKInto(d.derot[:len(payload)], payload, res.Phase)
 	} else {
-		derot = Derotate(payload, res.Phase)
+		derot = DerotateInto(d.derot[:len(payload)], payload, res.Phase)
 	}
 	res.Soft = d.fmt.Mod.Demap(derot, 1)
 	if pooled != nil {
@@ -328,7 +384,7 @@ func (d *BurstDemodulator) Demodulate(rx dsp.Vec) BurstResult {
 // payload — returning the winning offset, its metric, and the raw
 // correlation (whose phase is the data-aided carrier estimate).
 func (d *BurstDemodulator) searchUW(syms dsp.Vec) (int, float64, complex128) {
-	uw := d.fmt.UWSymbols()
+	uw := d.uw
 	bestIdx, bestMag := -1, 0.0
 	var bestCorr complex128
 	for off := 0; off+len(uw)+d.fmt.PayloadLen <= len(syms); off++ {
@@ -342,7 +398,7 @@ func (d *BurstDemodulator) searchUW(syms dsp.Vec) (int, float64, complex128) {
 		if energy == 0 {
 			continue
 		}
-		mag := cmplx.Abs(acc) / math.Sqrt(energy*uw.Energy())
+		mag := cmplx.Abs(acc) / math.Sqrt(energy*d.uwEnergy)
 		if mag > bestMag {
 			bestMag, bestIdx, bestCorr = mag, off, acc
 		}

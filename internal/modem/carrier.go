@@ -31,12 +31,19 @@ func FourthPowerPhase(syms dsp.Vec) float64 {
 
 // Derotate applies a constant phase correction of -phi to the block.
 func Derotate(syms dsp.Vec, phi float64) dsp.Vec {
+	return DerotateInto(dsp.NewVec(len(syms)), syms, phi)
+}
+
+// DerotateInto is the allocation-free variant of Derotate: it writes the
+// corrected block into dst (at least len(syms) long; dst == syms is
+// allowed) and returns dst[:len(syms)].
+func DerotateInto(dst, syms dsp.Vec, phi float64) dsp.Vec {
 	rot := cmplx.Exp(complex(0, -phi))
-	out := dsp.NewVec(len(syms))
+	dst = dst[:len(syms)]
 	for i, s := range syms {
-		out[i] = s * rot
+		dst[i] = s * rot
 	}
-	return out
+	return dst
 }
 
 // ResolveQPSKAmbiguity finds the k in {0,1,2,3} such that rotating the

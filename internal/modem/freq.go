@@ -33,15 +33,53 @@ func EstimateFrequencyQPSK(syms dsp.Vec) float64 {
 	if len(syms) < 2 {
 		return 0
 	}
-	z := dsp.GetVec(len(syms))
-	for i, s := range syms {
-		p := qpow4(s)
-		if m := cmplx.Abs(p); m > 0 {
-			z[i] = p * complex(1/m, 0)
-		} else {
-			z[i] = 0
+	n := len(syms)
+	// Zero-pad to at least 2n so the FFT bin width 1/nfft is no coarser
+	// than the half-bin spacing 1/(2n) of the dense reference scan.
+	nfft := dsp.NextPow2(2 * n)
+	z := dsp.GetVec(nfft)
+	fourthPowerNormalize(z, syms)
+	for i := n; i < nfft; i++ {
+		z[i] = 0
+	}
+	// The line sits at u = 4f cycles/sample in fourth-power units.
+	// Coarse: periodogram peak over the FFT bins; bin k measures
+	// u = k/nfft (folded into [-1/2, 1/2)), identical to evaluating the
+	// rotator sum at that u, at O(n log n) instead of the dense scan's
+	// O(n^2).
+	dsp.FFTForward(z, z)
+	bestK, bestP := 0, -1.0
+	for k, v := range z {
+		p := real(v)*real(v) + imag(v)*imag(v)
+		if p > bestP {
+			bestP, bestK = p, k
 		}
 	}
+	u := float64(bestK) / float64(nfft)
+	if u >= 0.5 {
+		u -= 1
+	}
+	coarseDu := 1 / float64(nfft)
+	// Fine: an eighth-bin grid across the winning coarse bin pair, with
+	// parabolic interpolation taking the estimate well below grid
+	// resolution, evaluated on the (rebuilt) fourth-power samples.
+	z = z[:n]
+	fourthPowerNormalize(z, syms)
+	u = peakSearchParabolic(z, u-coarseDu, coarseDu/8, 17)
+	dsp.PutVec(z)
+	return foldQuarterCycle(u)
+}
+
+// estimateFrequencyQPSKGrid is the pre-FFT reference implementation: a
+// dense half-bin grid scan of the same fourth-power periodogram. Kept
+// (unexported) as the equivalence baseline for the spectral estimator's
+// tests; not called on any hot path.
+func estimateFrequencyQPSKGrid(syms dsp.Vec) float64 {
+	if len(syms) < 2 {
+		return 0
+	}
+	z := dsp.GetVec(len(syms))
+	fourthPowerNormalize(z, syms)
 	// The line sits at u = 4f cycles/sample in fourth-power units.
 	// Coarse: half-bin spacing over u in [-1/2, 1/2) keeps scalloping
 	// loss of an off-grid peak under 1 dB.
@@ -54,7 +92,25 @@ func EstimateFrequencyQPSK(syms dsp.Vec) float64 {
 	fineDu := coarseDu / 8
 	u = peakSearchParabolic(z, u-coarseDu, fineDu, 17)
 	dsp.PutVec(z)
-	// Fold the quarter-cycle-ambiguous estimate into ±1/8.
+	return foldQuarterCycle(u)
+}
+
+// fourthPowerNormalize writes the unit-magnitude fourth power of syms
+// into dst[:len(syms)].
+func fourthPowerNormalize(dst, syms dsp.Vec) {
+	for i, s := range syms {
+		p := qpow4(s)
+		if m := cmplx.Abs(p); m > 0 {
+			dst[i] = p * complex(1/m, 0)
+		} else {
+			dst[i] = 0
+		}
+	}
+}
+
+// foldQuarterCycle maps a fourth-power-domain frequency u to the
+// quarter-cycle-ambiguous symbol-domain estimate in (-1/8, 1/8].
+func foldQuarterCycle(u float64) float64 {
 	f := u / 4
 	if f > 0.125 {
 		f -= 0.25
@@ -92,11 +148,20 @@ func peakSearch(z dsp.Vec, u0, du float64, bins int) float64 {
 	return bestU
 }
 
+// maxFineBins bounds the fine-search grid so peakSearchParabolic can
+// keep its power table on the stack (the demodulator calls it once per
+// burst on the hot path).
+const maxFineBins = 32
+
 // peakSearchParabolic is peakSearch plus a parabolic fit through the
 // winning bin and its neighbours (skipped at the grid edges), locating
 // the peak below grid resolution.
 func peakSearchParabolic(z dsp.Vec, u0, du float64, bins int) float64 {
-	pow := make([]float64, bins)
+	if bins > maxFineBins {
+		panic("modem: peakSearchParabolic fine grid too large")
+	}
+	var powArr [maxFineBins]float64
+	pow := powArr[:bins]
 	bestK, bestP := 0, -1.0
 	for k := range pow {
 		p := specPower(z, u0+float64(k)*du)
@@ -133,12 +198,19 @@ func qpow4(s complex128) complex128 {
 // remainder of the payload a quadrant off, which is why the chain is
 // only specified down to the coded-regime Es/N0.
 func TrackPhaseQPSK(payload dsp.Vec, anchor float64) dsp.Vec {
+	return TrackPhaseQPSKInto(dsp.NewVec(len(payload)), payload, anchor)
+}
+
+// TrackPhaseQPSKInto is the allocation-free variant of TrackPhaseQPSK:
+// it writes the derotated payload into out (at least len(payload) long;
+// out == payload is allowed) and returns out[:len(payload)].
+func TrackPhaseQPSKInto(out, payload dsp.Vec, anchor float64) dsp.Vec {
 	// 32 symbols averages enough noise for a stable fourth-power
 	// estimate at the coded-regime Es/N0 while keeping the phase ramp
 	// within a block (residual CFO x block length) small against the
 	// QPSK decision margin.
 	const block = 32
-	out := dsp.NewVec(len(payload))
+	out = out[:len(payload)]
 	prev := anchor
 	for b := 0; b < len(payload); b += block {
 		e := b + block

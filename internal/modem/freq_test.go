@@ -33,6 +33,68 @@ func TestFrequencyEstimateUnderNoise(t *testing.T) {
 	}
 }
 
+func TestFrequencyEstimateFFTMatchesGridSweep(t *testing.T) {
+	// The spectral (FFT-periodogram) coarse stage must reproduce the
+	// dense half-bin grid scan it replaced across the whole E12
+	// acquisition range: ±0.124 cycles/symbol at 6 dB Es/N0, burst-sized
+	// sequences. Both paths share the fine parabolic polish, so they
+	// must agree to well under the coarse bin width.
+	rng := rand.New(rand.NewSource(7))
+	n := DefaultBurstFormat(200).TotalSymbols() + 16
+	syms := QPSK.Map(randBits(rng, 2*n))
+	ch := dsp.NewChannelWith(7, 6, 1)
+	for f := -0.124; f <= 0.1241; f += 0.008 {
+		rot := CorrectFrequency(syms, -f)
+		noisy := ch.Apply(rot)
+		gotFFT := EstimateFrequencyQPSK(noisy)
+		gotGrid := estimateFrequencyQPSKGrid(noisy)
+		if math.Abs(gotFFT-gotGrid) > 5e-4 {
+			t.Fatalf("f=%+.3f: fft %g vs grid %g", f, gotFFT, gotGrid)
+		}
+		if math.Abs(gotFFT-f) > 0.004 {
+			t.Fatalf("f=%+.3f: fft estimate %g off range", f, gotFFT)
+		}
+	}
+}
+
+func TestFrequencyEstimateFFTAliasingPreserved(t *testing.T) {
+	// Offsets beyond ±1/8 cycle/symbol alias by ±1/4 in both
+	// implementations (the fourth power is blind to quarter-cycle
+	// wraps); the spectral path must fold identically to the grid scan.
+	rng := rand.New(rand.NewSource(8))
+	syms := QPSK.Map(randBits(rng, 2*512))
+	for _, c := range []struct{ applied, want float64 }{
+		{0.15, -0.10},
+		{-0.20, 0.05},
+		{0.24, -0.01},
+	} {
+		rot := CorrectFrequency(syms, -c.applied)
+		gotFFT := EstimateFrequencyQPSK(rot)
+		gotGrid := estimateFrequencyQPSKGrid(rot)
+		if math.Abs(gotFFT-c.want) > 0.002 {
+			t.Fatalf("applied %+g: fft %g want alias %g", c.applied, gotFFT, c.want)
+		}
+		if math.Abs(gotFFT-gotGrid) > 5e-4 {
+			t.Fatalf("applied %+g: fft %g vs grid %g", c.applied, gotFFT, gotGrid)
+		}
+	}
+}
+
+func TestFrequencyEstimateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	rng := rand.New(rand.NewSource(9))
+	syms := QPSK.Map(randBits(rng, 2*264))
+	EstimateFrequencyQPSK(syms) // warm pools and FFT plan
+	allocs := testing.AllocsPerRun(20, func() {
+		EstimateFrequencyQPSK(syms)
+	})
+	if allocs != 0 {
+		t.Fatalf("EstimateFrequencyQPSK allocates %v per run", allocs)
+	}
+}
+
 func TestCorrectFrequencyInverts(t *testing.T) {
 	rng := rand.New(rand.NewSource(4))
 	syms := QPSK.Map(randBits(rng, 2*64))

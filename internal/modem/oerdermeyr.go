@@ -15,6 +15,7 @@ import (
 // bursts; it requires at least 4 samples per symbol.
 type OerderMeyr struct {
 	sps int
+	sq  []float64 // scratch: squared magnitudes, reused across calls
 }
 
 // NewOerderMeyr creates an estimator for the given oversampling factor
@@ -27,9 +28,14 @@ func NewOerderMeyr(sps int) *OerderMeyr {
 }
 
 // EstimateOffset returns the fractional symbol timing offset in samples,
-// in [-sps/2, sps/2), estimated over the whole block.
+// in [-sps/2, sps/2), estimated over the whole block. The squared-
+// magnitude scratch is instance-owned, so a recovery instance serves one
+// stream at a time (like the demodulator that embeds it).
 func (o *OerderMeyr) EstimateOffset(in dsp.Vec) float64 {
-	x := make([]float64, len(in))
+	if cap(o.sq) < len(in) {
+		o.sq = make([]float64, len(in))
+	}
+	x := o.sq[:len(in)]
 	for i, s := range in {
 		x[i] = real(s)*real(s) + imag(s)*imag(s)
 	}
@@ -41,15 +47,33 @@ func (o *OerderMeyr) EstimateOffset(in dsp.Vec) float64 {
 // Recover estimates the timing offset and interpolates symbol-rate strobes
 // from the block, returning the symbols and the offset used.
 func (o *OerderMeyr) Recover(in dsp.Vec) (dsp.Vec, float64) {
+	return o.RecoverInto(dsp.NewVec(o.MaxSymbols(len(in))), in)
+}
+
+// MaxSymbols bounds the symbol count Recover can emit for an n-sample
+// block (the strobe count depends on the estimated offset; this is the
+// offset-independent upper bound callers size buffers with).
+func (o *OerderMeyr) MaxSymbols(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return (n-1)/o.sps + 1
+}
+
+// RecoverInto is the allocation-free variant of Recover: it interpolates
+// the symbol-rate strobes into dst (at least MaxSymbols(len(in)) long)
+// and returns the filled prefix and the offset used.
+func (o *OerderMeyr) RecoverInto(dst dsp.Vec, in dsp.Vec) (dsp.Vec, float64) {
 	tau := o.EstimateOffset(in)
 	start := tau
 	for start < 0 {
 		start += float64(o.sps)
 	}
 	var f dsp.Farrow
-	out := dsp.NewVec(0)
+	n := 0
 	for pos := start; pos <= float64(len(in)-1); pos += float64(o.sps) {
-		out = append(out, f.InterpAt(in, pos))
+		dst[n] = f.InterpAt(in, pos)
+		n++
 	}
-	return out, tau
+	return dst[:n], tau
 }

@@ -40,24 +40,31 @@ func (m Modulation) String() string {
 // Map converts bits to unit-power Gray-mapped symbols. For QPSK the bit
 // count must be even.
 func (m Modulation) Map(bits []byte) dsp.Vec {
+	return m.MapInto(dsp.NewVec(len(bits)/m.BitsPerSymbol()), bits)
+}
+
+// MapInto is the allocation-free variant of Map: it writes the mapped
+// symbols into dst (at least len(bits)/BitsPerSymbol long) and returns
+// the filled prefix.
+func (m Modulation) MapInto(dst dsp.Vec, bits []byte) dsp.Vec {
 	switch m {
 	case BPSK:
-		out := dsp.NewVec(len(bits))
+		dst = dst[:len(bits)]
 		for i, b := range bits {
 			if b == 0 {
-				out[i] = 1
+				dst[i] = 1
 			} else {
-				out[i] = -1
+				dst[i] = -1
 			}
 		}
-		return out
+		return dst
 	case QPSK:
 		if len(bits)%2 != 0 {
 			panic("modem: QPSK Map needs an even number of bits")
 		}
 		s := 1 / math.Sqrt2
-		out := dsp.NewVec(len(bits) / 2)
-		for i := range out {
+		dst = dst[:len(bits)/2]
+		for i := range dst {
 			re, im := s, s
 			if bits[2*i] == 1 {
 				re = -s
@@ -65,9 +72,9 @@ func (m Modulation) Map(bits []byte) dsp.Vec {
 			if bits[2*i+1] == 1 {
 				im = -s
 			}
-			out[i] = complex(re, im)
+			dst[i] = complex(re, im)
 		}
-		return out
+		return dst
 	}
 	panic("modem: unknown modulation")
 }
@@ -75,20 +82,27 @@ func (m Modulation) Map(bits []byte) dsp.Vec {
 // Demap produces one soft value per bit (positive ⇒ bit 0), scaled by
 // scale (use 1 for normalized symbols).
 func (m Modulation) Demap(syms dsp.Vec, scale float64) []float64 {
+	return m.DemapInto(make([]float64, len(syms)*m.BitsPerSymbol()), syms, scale)
+}
+
+// DemapInto is the allocation-free variant of Demap: it writes the soft
+// values into dst (at least len(syms)*BitsPerSymbol long) and returns
+// the filled prefix.
+func (m Modulation) DemapInto(dst []float64, syms dsp.Vec, scale float64) []float64 {
 	switch m {
 	case BPSK:
-		out := make([]float64, len(syms))
+		dst = dst[:len(syms)]
 		for i, s := range syms {
-			out[i] = real(s) * scale
+			dst[i] = real(s) * scale
 		}
-		return out
+		return dst
 	case QPSK:
-		out := make([]float64, 2*len(syms))
+		dst = dst[:2*len(syms)]
 		for i, s := range syms {
-			out[2*i] = real(s) * scale * math.Sqrt2
-			out[2*i+1] = imag(s) * scale * math.Sqrt2
+			dst[2*i] = real(s) * scale * math.Sqrt2
+			dst[2*i+1] = imag(s) * scale * math.Sqrt2
 		}
-		return out
+		return dst
 	}
 	panic("modem: unknown modulation")
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/cdma"
 	"repro/internal/dsp"
@@ -88,6 +89,19 @@ type Payload struct {
 	// codedBits bounds the soft bits fed to the decoder per burst
 	// (0 = decode the whole burst payload); see SetBurstCodedBits.
 	codedBits int
+
+	// codecCache memoizes Codec() by loaded design name, so per-burst
+	// decode paths don't rebuild codec state (the turbo constructor in
+	// particular allocates interleavers). Invalidation is by name
+	// comparison: a reconfiguration loads a design with a different name,
+	// which misses the cache and replaces the entry.
+	codecCache atomic.Pointer[codecEntry]
+}
+
+// codecEntry pairs a DECOD design name with its codec implementation.
+type codecEntry struct {
+	name  string
+	codec fec.Codec
 }
 
 // New boots a payload.
@@ -320,10 +334,14 @@ func (p *Payload) Codec() (fec.Codec, error) {
 		return nil, errors.New("payload: no decoder device")
 	}
 	name := p.cs.devices[devs[0]].LoadedDesign()
+	if e := p.codecCache.Load(); e != nil && e.name == name {
+		return e.codec, nil
+	}
 	codec, err := CodecForDesign(name)
 	if err != nil {
 		return nil, fmt.Errorf("payload: no codec loaded (design %q)", name)
 	}
+	p.codecCache.Store(&codecEntry{name: name, codec: codec})
 	return codec, nil
 }
 

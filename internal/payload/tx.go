@@ -40,6 +40,10 @@ type Transmitter struct {
 	mods    sync.Pool
 	waveLen int // samples Modulate emits per burst
 
+	// encBufs pools *[]byte encode scratch for the grid fast path, so
+	// re-encoding a full frame of bursts costs no per-burst allocations.
+	encBufs sync.Pool
+
 	// carrierBufs holds the per-carrier downlink waveforms of the frame
 	// under construction; each grid worker touches only its own carrier.
 	carrierBufs []dsp.Vec
@@ -59,6 +63,10 @@ func NewTransmitter(pl *Payload, plan frontend.CarrierPlan) *Transmitter {
 	t.mods.New = func() any {
 		return modem.NewBurstModulator(pl.BurstFormat(), 0.35, plan.Decim, 10)
 	}
+	t.encBufs.New = func() any {
+		b := make([]byte, 0, pl.BurstFormat().PayloadBits())
+		return &b
+	}
 	m := t.mods.Get().(*modem.BurstModulator)
 	t.waveLen = m.WaveformLen()
 	t.mods.Put(m)
@@ -76,6 +84,14 @@ func (t *Transmitter) BurstWaveformLen() int { return t.waveLen }
 // one downlink burst payload. It fails when the coding function is down
 // or the coded stream does not fit the burst.
 func (t *Transmitter) EncodeBurst(info []byte) ([]byte, error) {
+	return t.encodeBurstInto(make([]byte, 0, t.pl.BurstFormat().PayloadBits()), info)
+}
+
+// encodeBurstInto is the scratch-reusing core of EncodeBurst: it encodes
+// into dst[:0] (growing it if needed), zero-pads to the burst payload
+// budget and returns the padded slice. Callers that pool their scratch
+// re-encode bursts without per-burst allocations.
+func (t *Transmitter) encodeBurstInto(dst []byte, info []byte) ([]byte, error) {
 	if !t.pl.Chipset().FunctionHealthy(FuncCoding) {
 		return nil, ErrServiceDown
 	}
@@ -83,14 +99,15 @@ func (t *Transmitter) EncodeBurst(info []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	coded := codec.Encode(info)
-	f := t.pl.BurstFormat()
-	if len(coded) > f.PayloadBits() {
+	budget := t.pl.BurstFormat().PayloadBits()
+	dst = fec.AppendEncode(codec, dst[:0], info)
+	if len(dst) > budget {
 		return nil, errors.New("payload: coded burst exceeds the slot payload")
 	}
-	out := make([]byte, f.PayloadBits())
-	copy(out, coded)
-	return out, nil
+	for len(dst) < budget {
+		dst = append(dst, 0)
+	}
+	return dst, nil
 }
 
 // TransmitFrame drains queued packets for the given beams (one burst per
@@ -184,17 +201,20 @@ func (t *Transmitter) TransmitFrameGrid(cfg modem.FrameConfig, grid [][][]byte) 
 			return
 		}
 		mod := t.mods.Get().(*modem.BurstModulator)
+		pb := t.encBufs.Get().(*[]byte)
 		for s, info := range grid[c] {
 			if info == nil {
 				continue
 			}
-			payloadBits, err := t.EncodeBurst(info)
+			payloadBits, err := t.encodeBurstInto(*pb, info)
 			if err != nil {
 				errs[c] = fmt.Errorf("carrier %d slot %d: %w", c, s, err)
 				break
 			}
-			copy(buf[s*slotLen:], mod.Modulate(payloadBits))
+			*pb = payloadBits
+			mod.ModulateInto(buf[s*slotLen:], payloadBits)
 		}
+		t.encBufs.Put(pb)
 		t.mods.Put(mod)
 	})
 	if err := errors.Join(errs...); err != nil {

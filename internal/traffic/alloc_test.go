@@ -1,0 +1,41 @@
+package traffic
+
+import (
+	"testing"
+)
+
+// TestEngineFrameAllocBudget pins the steady-state allocation budget of
+// one closed-loop frame (DAMA, encode + modulate into the composer,
+// channel, demod + decode + switch, downlink grid transmit). The frame
+// plan — pooled modulators/demodulators/channels, flat info-bit backing,
+// scratch composers and encode buffers — brought the loop from ~6000
+// allocations per frame to a few dozen; the bound holds the line with
+// slack for runtime noise (map growth, pool repopulation after a GC).
+func TestEngineFrameAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	cfg := DefaultConfig()
+	cfg.Frame = smallFrame(2, 2)
+	cfg.EbN0dB = 9
+	eng := newEngine(t, cfg, []Terminal{
+		{ID: "t0", Beam: 0, Model: CBR{Cells: 2}},
+		{ID: "t1", Beam: 1, Model: CBR{Cells: 2}},
+	}, "conv-r1/2-k9")
+	// Warm every pool and scratch buffer.
+	if err := eng.RunFrames(3); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := eng.RunFrames(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 200
+	if allocs > budget {
+		t.Fatalf("frame loop allocates %v per frame, budget %d", allocs, budget)
+	}
+	if rep := eng.Report(); rep.UplinkBitErrs != 0 {
+		t.Fatalf("%d uplink bit errors", rep.UplinkBitErrs)
+	}
+}

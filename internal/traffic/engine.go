@@ -146,16 +146,21 @@ type Engine struct {
 
 	frame int
 
-	mods   sync.Pool // terminal-side burst modulators
-	gdemux *frontend.Demux
-	gdems  sync.Pool // ground-side burst demodulators
+	mods    sync.Pool // terminal-side burst modulators
+	chans   sync.Pool // per-burst uplink channels (Reseed'd each use)
+	encBufs sync.Pool // *[]byte encode scratch, padded to the burst budget
+	gdemux  *frontend.Demux
+	gdems   sync.Pool // ground-side burst demodulators
 
 	// scratch reused across frames
-	fc    *modem.FrameComposer
-	grid  [][][]byte
-	sent  []sentCell
-	metas []payload.RouteMeta
-	room  [][switchfab.NumClasses]int
+	fc      *modem.FrameComposer
+	grid    [][][]byte
+	sent    []sentCell
+	metas   []payload.RouteMeta
+	room    [][switchfab.NumClasses]int
+	asgs    []modem.SlotAssignment
+	cells   []uplinkCell
+	infoBuf []byte // flat backing for the frame's per-cell info bits
 
 	// fill is the state the preallocated emit closure reads while the
 	// downlink scheduler pops packets into the transmit grid.
@@ -257,6 +262,11 @@ func New(pl *payload.Payload, cfg Config, terminals []Terminal) (*Engine, error)
 	}
 	e.mods.New = func() any {
 		return modem.NewBurstModulator(pl.BurstFormat(), 0.35, 4, 10)
+	}
+	e.chans.New = func() any { return dsp.NewChannel(0) }
+	e.encBufs.New = func() any {
+		b := make([]byte, 0, pl.BurstFormat().PayloadBits())
+		return &b
 	}
 	if cfg.Verify {
 		e.gdemux = frontend.NewDemux(plan, 95)
@@ -530,7 +540,15 @@ func (e *Engine) dama(f, k int) []uplinkCell {
 			}
 		}
 	}
-	var cells []uplinkCell
+	// Per-cell info bits live in one flat frame-scoped buffer sized for
+	// the worst case (every slot granted); cells sub-slice it, so a
+	// frame's worth of payload generation costs zero allocations once
+	// the buffer and cell slice reach steady state.
+	if need := e.sched.Capacity() * k; cap(e.infoBuf) < need {
+		e.infoBuf = make([]byte, need)
+	}
+	buf, off := e.infoBuf[:cap(e.infoBuf)], 0
+	cells := e.cells[:0]
 	for _, ts := range e.terms {
 		if !ts.active {
 			continue
@@ -569,13 +587,15 @@ func (e *Engine) dama(f, k int) []uplinkCell {
 		e.met.GrantedCells += len(asgs)
 		ts.stat.GrantedCells += len(asgs)
 		for _, a := range asgs {
-			info := make([]byte, k)
+			info := buf[off : off+k : off+k]
+			off += k
 			for i := range info {
 				info[i] = byte(ts.rng.Intn(2))
 			}
 			cells = append(cells, uplinkCell{asg: a, term: ts, info: info})
 		}
 	}
+	e.cells = cells
 	return cells
 }
 
@@ -594,7 +614,10 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 		e.fc.Reset()
 	}
 	fc := e.fc
-	asgs := make([]modem.SlotAssignment, len(cells))
+	if cap(e.asgs) < len(cells) {
+		e.asgs = make([]modem.SlotAssignment, len(cells))
+	}
+	asgs := e.asgs[:len(cells)]
 	noisy := e.cfg.EbN0dB > 0
 	esN0 := 0.0
 	if noisy {
@@ -616,12 +639,32 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 	pipeline.ForEach(len(cells), func(i int) {
 		c := cells[i]
 		asgs[i] = c.asg
-		coded := codec.Encode(c.info)
-		padded := make([]byte, budget)
-		copy(padded, coded)
+		// Encode into pooled scratch, zero-padded to the burst budget
+		// (and truncated to it, matching the old copy-into-fresh-buffer
+		// semantics when a codec overshoots).
+		pb := e.encBufs.Get().(*[]byte)
+		padded := fec.AppendEncode(codec, (*pb)[:0], c.info)
+		if len(padded) > budget {
+			padded = padded[:budget]
+		}
+		for len(padded) < budget {
+			padded = append(padded, 0)
+		}
+		// Modulate straight into the frame composer's slot: slots are
+		// disjoint per assignment, so the concurrent workers never touch
+		// the same samples, and Reset has already zeroed the tail beyond
+		// the burst waveform.
 		mod := e.mods.Get().(*modem.BurstModulator)
-		wave := mod.Modulate(padded)
+		var wave dsp.Vec
+		slotDirect := mod.WaveformLen() <= fc.Config().SlotSymbols*uplinkSPS
+		if slotDirect {
+			wave = mod.ModulateInto(fc.SlotWaveform(c.asg), padded)
+		} else {
+			wave = mod.Modulate(padded)
+		}
 		e.mods.Put(mod)
+		*pb = padded
+		e.encBufs.Put(pb)
 		prof := c.term.term.Channel
 		if noisy || prof != nil {
 			cellEsN0 := esN0
@@ -630,7 +673,15 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 			} else if !noisy {
 				cellEsN0 = 300 // effectively noiseless
 			}
-			ch := dsp.NewChannelWith(e.cfg.Seed+int64(f)*100003+int64(i), cellEsN0, uplinkSPS)
+			ch := e.chans.Get().(*dsp.Channel)
+			ch.Reseed(e.cfg.Seed + int64(f)*100003 + int64(i))
+			ch.EsN0dB = cellEsN0
+			ch.SPS = uplinkSPS
+			ch.PhaseOffset = 0
+			ch.FreqOffset = 0
+			ch.FreqDrift = 0
+			ch.TimingOffset = 0
+			ch.Gain = 1
 			if prof != nil {
 				// Frequency figures are per symbol and the channel works
 				// per sample, so CFO/Drift divide by the oversampling;
@@ -645,9 +696,12 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 					ch.Gain = prof.Gain
 				}
 			}
-			wave = ch.Apply(wave)
+			ch.ApplyInPlace(wave)
+			e.chans.Put(ch)
 		}
-		fc.PlaceBurst(c.asg, wave)
+		if !slotDirect {
+			fc.PlaceBurst(c.asg, wave)
+		}
 	})
 
 	receipts := e.pl.ReceiveFrameAndRouteQoS(fc, asgs, e.metas)

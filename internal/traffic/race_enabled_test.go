@@ -1,0 +1,8 @@
+//go:build race
+
+package traffic
+
+// raceEnabled reports whether the race detector instruments this build;
+// allocation-count regressions are skipped under it because the runtime
+// deliberately randomizes sync.Pool reuse.
+const raceEnabled = true
