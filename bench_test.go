@@ -21,6 +21,7 @@ import (
 	"repro/internal/payload"
 	"repro/internal/scenario"
 	"repro/internal/switchfab"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -308,6 +309,59 @@ func BenchmarkTrafficEngine(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if err := eng.RunFrames(1); err != nil {
 			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rep := eng.Report()
+	if rep.UplinkBitErrs != 0 {
+		b.Fatalf("%d uplink bit errors", rep.UplinkBitErrs)
+	}
+}
+
+// BenchmarkTrafficEngineTelemetry is BenchmarkTrafficEngine with the
+// streaming telemetry backbone attached — per-stage timers on the
+// frame step and a JSON flush to a discarded writer every 16 frames.
+// The delta to the untimed benchmark prices live observability; the
+// acceptance gate holds it under 5% ns/op (the record path is four
+// clock-read pairs and bounded sample appends per frame, pinned at
+// zero allocations by the traffic and telemetry alloc tests).
+func BenchmarkTrafficEngineTelemetry(b *testing.B) {
+	cfg := payload.DefaultConfig()
+	cfg.Carriers = 3
+	pl, err := payload.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pl.SetWaveform(payload.ModeTDMA); err != nil {
+		b.Fatal(err)
+	}
+	if err := pl.SetCodec("conv-r1/2-k9"); err != nil {
+		b.Fatal(err)
+	}
+	tcfg := traffic.DefaultConfig()
+	tcfg.Frame = modem.FrameConfig{Carriers: 3, Slots: 4, SlotSymbols: 320, GuardSymbols: 16}
+	tcfg.EbN0dB = 9
+	eng, err := traffic.New(pl, tcfg, []traffic.Terminal{
+		{ID: "t0", Beam: 0, Model: traffic.CBR{Cells: 2}},
+		{ID: "t1", Beam: 1, Model: traffic.CBR{Cells: 2}},
+		{ID: "t2", Beam: 2, Model: traffic.OnOff{On: 2, Off: 1, Cells: 2}},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reg := telemetry.NewRegistry()
+	eng.SetStageTimers(traffic.NewStageTimers(reg))
+	fl := telemetry.NewFlusher(reg, io.Discard)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.RunFrames(1); err != nil {
+			b.Fatal(err)
+		}
+		if (i+1)%16 == 0 {
+			if err := fl.Flush(int64(i)); err != nil {
+				b.Fatal(err)
+			}
 		}
 	}
 	b.StopTimer()

@@ -35,6 +35,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Result is one benchmark measurement at one GOMAXPROCS width.
@@ -48,16 +50,35 @@ type Result struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 }
 
-// File is the BENCH_PRn.json layout. NumCPU records the host width the
-// widest sweep entry ran at; per-result widths live on each Result.
+// File is the BENCH_PRn.json layout. The header makes the artifact
+// self-identifying: generation timestamp, Go version and the git commit
+// the numbers were measured at (empty outside a git checkout). NumCPU
+// records the host width the widest sweep entry ran at; per-result
+// widths live on each Result.
 type File struct {
 	Generated string   `json:"generated"`
 	GoVersion string   `json:"go_version"`
+	GitCommit string   `json:"git_commit,omitempty"`
 	NumCPU    int      `json:"num_cpu"`
 	Widths    []int    `json:"gomaxprocs_widths"`
 	Pattern   string   `json:"pattern"`
 	Benchtime string   `json:"benchtime,omitempty"`
 	Results   []Result `json:"results"`
+}
+
+// gitCommit best-effort resolves the working tree's HEAD (with a
+// "-dirty" suffix when the tree has local modifications); a run outside
+// a git checkout just leaves the field empty.
+func gitCommit() string {
+	out, err := exec.Command("git", "rev-parse", "--short=12", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	commit := strings.TrimSpace(string(out))
+	if status, err := exec.Command("git", "status", "--porcelain").Output(); err == nil && len(bytes.TrimSpace(status)) > 0 {
+		commit += "-dirty"
+	}
+	return commit
 }
 
 // benchLine matches `BenchmarkName-8  100  12345 ns/op  67 B/op  8 allocs/op`
@@ -71,6 +92,7 @@ func main() {
 	pkgs := flag.String("pkgs", ".,./internal/dsp", "comma-separated packages to bench")
 	widthsFlag := flag.String("gomaxprocs", "", "comma-separated GOMAXPROCS widths (default: 1 and NumCPU)")
 	out := flag.String("out", "BENCH_PR6.json", "output file")
+	telemetryOut := flag.String("telemetry", "", "additionally emit the results as one telemetry flush line (file, or - for stdout)")
 	flag.Parse()
 
 	widths, err := parseWidths(*widthsFlag)
@@ -80,6 +102,7 @@ func main() {
 	file := File{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
+		GitCommit: gitCommit(),
 		NumCPU:    runtime.NumCPU(),
 		Widths:    widths,
 		Pattern:   *pattern,
@@ -109,7 +132,42 @@ func main() {
 	if err := os.WriteFile(*out, data, 0o644); err != nil {
 		log.Fatal(err)
 	}
+	if *telemetryOut != "" {
+		if err := emitTelemetry(*telemetryOut, file); err != nil {
+			log.Fatal(err)
+		}
+	}
 	fmt.Printf("wrote %d results to %s\n", len(file.Results), *out)
+}
+
+// emitTelemetry reduces the benchmark results to one flush line in the
+// streaming-telemetry schema (internal/telemetry.Line), so the bench
+// trajectory and a live trafficsim feed share one consumer: each result
+// becomes three gauges keyed
+// bench.<name>.p<gomaxprocs>.{ns_per_op,bytes_per_op,allocs_per_op}.
+func emitTelemetry(path string, file File) error {
+	reg := telemetry.NewRegistry()
+	for _, r := range file.Results {
+		key := fmt.Sprintf("bench.%s.p%d.", strings.TrimPrefix(r.Name, "Benchmark"), r.GOMAXPROCS)
+		reg.Gauge(key + "ns_per_op").Set(r.NsPerOp)
+		reg.Gauge(key + "bytes_per_op").Set(float64(r.BytesPerOp))
+		reg.Gauge(key + "allocs_per_op").Set(float64(r.AllocsPerOp))
+	}
+	w := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	source := "benchjson"
+	if file.GitCommit != "" {
+		source = "benchjson@" + file.GitCommit
+	}
+	// Benchmarks have no frame clock; the line is tagged frame -1.
+	return telemetry.NewFlusher(reg, w, telemetry.WithSource(source)).Flush(-1)
 }
 
 // parseWidths resolves the -gomaxprocs flag: explicit comma-separated

@@ -13,6 +13,13 @@
 // it as overrides (e.g. -preset swap-under-load -frames 20 truncates
 // the run; population flags rebuild the terminal set).
 //
+// A long run is observable while it runs: -telemetry <file|-> streams
+// one machine-readable flush line per -flush-every frames (cumulative
+// counters, per-class stats, queue-depth gauges, per-stage engine
+// timers with p50/p90/p99, Go runtime health) through the
+// internal/telemetry backbone, and -report-json writes the end-of-run
+// traffic.Report as JSON for campaign tooling.
+//
 // Usage:
 //
 //	trafficsim -list-presets
@@ -22,16 +29,21 @@
 //	trafficsim -frames 100 -carriers 3 -slots 4 -codec conv-r1/2-k9 -verify
 //	trafficsim -frames 40 -ebn0 6 -cfo 0.1 -timing-spread -phase-spread -verify
 //	trafficsim -frames 40 -class mix -scheduler drr -drr-weights 4,2,1 -verify
+//	trafficsim -preset impaired -frames 200 -telemetry - -flush-every 10
+//	trafficsim -preset qos-priority -telemetry run.jsonl -report-json report.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
+	"os"
 
 	"repro/internal/core"
 	"repro/internal/scenario"
+	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
@@ -61,6 +73,10 @@ func main() {
 	drift := flag.Float64("drift", 0, "Doppler ramp on the last terminal, cycles/symbol per frame")
 	timingSpread := flag.Bool("timing-spread", false, "spread per-terminal fractional timing offsets across [0, 1)")
 	phaseSpread := flag.Bool("phase-spread", false, "spread per-terminal carrier phase offsets across (-pi, pi]")
+	telemetryOut := flag.String("telemetry", "", "stream telemetry flush lines to a file (- for stdout)")
+	flushEvery := flag.Int("flush-every", 10, "frames per telemetry flush")
+	telemetryFormat := flag.String("telemetry-format", "json", "telemetry wire form: json or graphite")
+	reportJSON := flag.String("report-json", "", "write the end-of-run report as JSON to a file")
 	flag.Parse()
 
 	if *listPresets {
@@ -203,6 +219,33 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var tel *scenario.TelemetryObserver
+	var telFile *os.File
+	if *telemetryOut != "" {
+		w := os.Stdout
+		if *telemetryOut != "-" {
+			f, err := os.Create(*telemetryOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			telFile, w = f, f
+		}
+		format := telemetry.FormatJSON
+		switch *telemetryFormat {
+		case "json":
+		case "graphite":
+			format = telemetry.FormatGraphite
+		default:
+			log.Fatalf("trafficsim: unknown -telemetry-format %q (json or graphite)", *telemetryFormat)
+		}
+		tel = scenario.NewTelemetryObserver(w, scenario.TelemetryConfig{
+			FlushEvery: *flushEvery,
+			Format:     format,
+			Source:     "trafficsim",
+		})
+		tel.Attach(sess)
+	}
+
 	name := spec.Name
 	if name == "" {
 		name = "ad hoc"
@@ -214,6 +257,25 @@ func main() {
 	rep, err := sess.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
+	}
+	if tel != nil {
+		if err := tel.Close(); err != nil {
+			log.Fatalf("trafficsim: telemetry stream: %v", err)
+		}
+		if telFile != nil {
+			if err := telFile.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if *reportJSON != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(*reportJSON, append(data, '\n'), 0o644); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Print(rep)
 }

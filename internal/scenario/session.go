@@ -65,8 +65,18 @@ type FrameStats struct {
 // Observer is the per-frame hook: stats is this frame's delta, report
 // builds the live cumulative metrics on demand (the full per-terminal
 // reduction costs O(terminals) — observers that only watch deltas
-// never pay it). Each report() call returns a fresh snapshot the
-// observer may retain. Observers run synchronously between frames, so
+// never pay it).
+//
+// The report() contract: the snapshot is computed at most once per
+// frame — repeated calls within a frame (by one observer or across the
+// frame's observer chain) return the same *Report, so a per-frame
+// consumer never pays the reduction twice. Because the snapshot is
+// shared within the frame, observers must treat it as read-only; it is
+// never reused by a later frame, so retaining it across frames is safe.
+// The FrameStats value (its Events slice included) is likewise a safe
+// copy: the session never aliases or mutates it after delivery.
+//
+// Observers run synchronously between frames, in installation order, so
 // they see (and may react to, e.g. by cancelling the run context) a
 // consistent frame-boundary state.
 type Observer func(stats FrameStats, report func() *traffic.Report)
@@ -78,8 +88,15 @@ type Session struct {
 	pl   *payload.Payload
 	eng  *traffic.Engine
 	ctrl ControlPlane
-	obs  Observer
+	obs  []Observer
 	ctx  context.Context
+
+	// repCache/repFn implement the at-most-once-per-frame report()
+	// contract: Step clears the cache, repFn computes on first call and
+	// replays the cached snapshot after. Hoisted into fields so the
+	// observer path does not allocate a fresh closure every frame.
+	repCache *traffic.Report
+	repFn    func() *traffic.Report
 
 	pop       []traffic.Terminal // population override (WithPopulation)
 	cfg       *traffic.Config    // config override (WithTrafficConfig)
@@ -95,8 +112,12 @@ type Session struct {
 // Option configures a Session at construction.
 type Option func(*Session)
 
-// WithObserver installs the per-frame observer hook.
-func WithObserver(obs Observer) Option { return func(s *Session) { s.obs = obs } }
+// WithObserver installs a per-frame observer hook. The option may be
+// given more than once; observers run in installation order and share
+// the frame's report() snapshot.
+func WithObserver(obs Observer) Option {
+	return func(s *Session) { s.obs = append(s.obs, obs) }
+}
 
 // WithVerification overrides the spec's ground-verification switch.
 func WithVerification(v bool) Option {
@@ -221,8 +242,20 @@ func NewSession(spec Spec, opts ...Option) (*Session, error) {
 	s.events = append([]Event(nil), s.spec.Events...)
 	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].Frame < s.events[j].Frame })
 	s.prev = eng.Metrics()
+	s.repFn = func() *traffic.Report {
+		if s.repCache == nil {
+			s.repCache = s.eng.Report()
+		}
+		return s.repCache
+	}
 	return s, nil
 }
+
+// AddObserver appends a per-frame observer after construction — the
+// attachment path for consumers that need the built session (e.g. the
+// telemetry adapter wiring engine stage timers). It must be called
+// between frames, not from inside an observer.
+func (s *Session) AddObserver(obs Observer) { s.obs = append(s.obs, obs) }
 
 // Spec returns the session's (possibly option-adjusted) spec.
 func (s *Session) Spec() Spec { return s.spec }
@@ -279,8 +312,11 @@ func (s *Session) Step() (FrameStats, error) {
 	st.DeliveredBits = cur.DeliveredBits - prev.DeliveredBits
 	st.DroppedQueue = cur.DroppedQueue - prev.DroppedQueue
 	st.DroppedReencode = cur.DroppedReencode - prev.DroppedReencode
-	if s.obs != nil {
-		s.obs(st, s.eng.Report)
+	if len(s.obs) > 0 {
+		s.repCache = nil
+		for _, obs := range s.obs {
+			obs(st, s.repFn)
+		}
 	}
 	return st, nil
 }

@@ -1,0 +1,265 @@
+package scenario
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/switchfab"
+	"repro/internal/telemetry"
+	"repro/internal/traffic"
+)
+
+func decodeTelemetry(t *testing.T, s string) []telemetry.Line {
+	t.Helper()
+	var lines []telemetry.Line
+	sc := bufio.NewScanner(strings.NewReader(s))
+	for sc.Scan() {
+		dec := json.NewDecoder(strings.NewReader(sc.Text()))
+		dec.DisallowUnknownFields()
+		var ln telemetry.Line
+		if err := dec.Decode(&ln); err != nil {
+			t.Fatalf("flush line %q: %v", sc.Text(), err)
+		}
+		lines = append(lines, ln)
+	}
+	return lines
+}
+
+// TestTelemetryObserverMatchesReport runs the qos-priority preset with
+// an attached telemetry feed and pins the backbone's core contract: the
+// final flush's cumulative counters equal the end-of-run Report exactly
+// (top-level and per class), every flush carries the full persistent
+// key set, and the engine stage timers sampled once per frame.
+func TestTelemetryObserverMatchesReport(t *testing.T) {
+	spec, err := Preset("qos-priority")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Frames = 8
+	spec.Traffic.Verify = true
+	var buf bytes.Buffer
+	tel := NewTelemetryObserver(&buf, TelemetryConfig{FlushEvery: 3, Source: "test"})
+	sess, err := NewSession(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel.Attach(sess)
+	rep, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := decodeTelemetry(t, buf.String())
+	// 8 frames at FlushEvery=3 → flushes after frames 2 and 5, plus the
+	// Close tail for frames 6–7.
+	if len(lines) != 3 {
+		t.Fatalf("%d flush lines, want 3", len(lines))
+	}
+	for i, ln := range lines {
+		if ln.Seq != int64(i) {
+			t.Fatalf("line %d: seq %d", i, ln.Seq)
+		}
+		if ln.Source != "test" {
+			t.Fatalf("line %d: source %q", i, ln.Source)
+		}
+		for _, key := range []string{
+			"frames", "granted_cells", "delivered_bits", "class.ef.routed_packets",
+		} {
+			if _, ok := ln.Counters[key]; !ok {
+				t.Fatalf("line %d missing counter %q", i, key)
+			}
+		}
+		for _, key := range []string{"queue.beam0.depth", "runtime.heap_alloc_bytes"} {
+			if _, ok := ln.Gauges[key]; !ok {
+				t.Fatalf("line %d missing gauge %q", i, key)
+			}
+		}
+	}
+	if lines[0].Frame != 2 || lines[1].Frame != 5 || lines[2].Frame != 7 {
+		t.Fatalf("flush frames %d/%d/%d, want 2/5/7", lines[0].Frame, lines[1].Frame, lines[2].Frame)
+	}
+
+	final := lines[len(lines)-1]
+	for key, want := range map[string]int{
+		"frames":            rep.Frames,
+		"outage_frames":     rep.OutageFrames,
+		"granted_cells":     rep.GrantedCells,
+		"throttled_cells":   rep.ThrottledCells,
+		"uplink_failures":   rep.UplinkFailures,
+		"uplink_bit_errs":   rep.UplinkBitErrs,
+		"delivered_packets": rep.DeliveredPackets,
+		"delivered_bits":    rep.DeliveredBits,
+		"dropped_queue":     rep.DroppedQueue,
+		"dropped_reencode":  rep.DroppedReencode,
+	} {
+		if got := final.Counters[key]; got != int64(want) {
+			t.Errorf("final %s = %d, report says %d", key, got, want)
+		}
+	}
+	for _, c := range switchfab.Classes() {
+		cs := rep.PerClass[c]
+		p := "class." + c.String() + "."
+		for key, want := range map[string]int{
+			p + "routed_packets":    cs.RoutedPackets,
+			p + "dropped_queue":     cs.DroppedQueue,
+			p + "dropped_reencode":  cs.DroppedReencode,
+			p + "delivered_packets": cs.DeliveredPackets,
+			p + "delivered_bits":    cs.DeliveredBits,
+		} {
+			if got := final.Counters[key]; got != int64(want) {
+				t.Errorf("final %s = %d, report says %d", key, got, want)
+			}
+		}
+	}
+
+	// Stage timers: one sample per frame per stage, verify stage
+	// included (the preset runs verified here).
+	for _, stage := range []string{
+		"engine.stage.synthesis_ns", "engine.stage.receive_ns",
+		"engine.stage.schedule_ns", "engine.stage.transmit_ns", "engine.stage.verify_ns",
+	} {
+		total := int64(0)
+		for _, ln := range lines {
+			st, ok := ln.Timers[stage]
+			if !ok {
+				t.Fatalf("missing stage timer %s", stage)
+			}
+			total += st.Count
+		}
+		// Outage frames skip the loop before the first stage clock.
+		want := int64(rep.Frames - rep.OutageFrames)
+		if total != want {
+			t.Errorf("%s sampled %d times over %d frames", stage, total, rep.Frames)
+		}
+	}
+}
+
+// TestTelemetryCloseIdempotentOnBoundary pins the Close tail-flush
+// guard: a run ending exactly on a flush boundary emits no duplicate
+// final line.
+func TestTelemetryCloseIdempotentOnBoundary(t *testing.T) {
+	spec, err := Preset("clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Frames = 4
+	var buf bytes.Buffer
+	tel := NewTelemetryObserver(&buf, TelemetryConfig{FlushEvery: 2})
+	sess, err := NewSession(spec, WithVerification(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel.Attach(sess)
+	if _, err := sess.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if lines := decodeTelemetry(t, buf.String()); len(lines) != 2 {
+		t.Fatalf("%d lines for 4 frames at FlushEvery=2, want 2 (no Close duplicate)", len(lines))
+	}
+}
+
+// TestObserverReportMemoized pins the report() contract: within one
+// frame the snapshot is computed at most once — every call, across the
+// whole observer chain, returns the same *Report — and the next frame
+// gets a fresh one.
+func TestObserverReportMemoized(t *testing.T) {
+	spec, err := Preset("clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var perFrame [][]*traffic.Report
+	grab := func(stats FrameStats, report func() *traffic.Report) {
+		f := stats.Frame
+		for len(perFrame) <= f {
+			perFrame = append(perFrame, nil)
+		}
+		perFrame[f] = append(perFrame[f], report(), report())
+	}
+	sess, err := NewSession(spec, WithVerification(false),
+		WithObserver(grab), WithObserver(grab))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := sess.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(perFrame) != 3 {
+		t.Fatalf("%d frames observed, want 3", len(perFrame))
+	}
+	for f, reps := range perFrame {
+		if len(reps) != 4 { // 2 observers × 2 calls
+			t.Fatalf("frame %d: %d report calls recorded", f, len(reps))
+		}
+		for _, r := range reps[1:] {
+			if r != reps[0] {
+				t.Fatalf("frame %d: report() returned distinct snapshots within the frame", f)
+			}
+		}
+		if f > 0 && reps[0] == perFrame[f-1][0] {
+			t.Fatalf("frame %d: report() reused the previous frame's snapshot", f)
+		}
+		if reps[0].Frames != f+1 {
+			t.Fatalf("frame %d: snapshot covers %d frames", f, reps[0].Frames)
+		}
+	}
+}
+
+// TestObserverFrameStatsSafeCopy pins the other half of the observer
+// contract: the delivered FrameStats (its Events slice included) is the
+// observer's to keep — mutating a retained copy does not corrupt the
+// session's event log, and later frames never alias it.
+func TestObserverFrameStatsSafeCopy(t *testing.T) {
+	spec, err := Preset("swap-under-load") // has scripted events
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retained []FrameStats
+	sess, err := NewSession(spec, WithVerification(false),
+		WithObserver(func(stats FrameStats, _ func() *traffic.Report) {
+			retained = append(retained, stats)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for sess.Frame() < spec.Frames {
+		if _, err := sess.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var evFrames []int
+	for _, st := range retained {
+		for i := range st.Events {
+			evFrames = append(evFrames, st.Events[i].Frame)
+			// Vandalize the retained record; the session log must not see it.
+			st.Events[i].Action = "vandalized"
+			st.Events[i].Frame = -99
+		}
+	}
+	if len(evFrames) == 0 {
+		t.Fatal("preset fired no events; test is vacuous")
+	}
+	log := sess.EventLog()
+	if len(log) != len(evFrames) {
+		t.Fatalf("event log has %d records, observers saw %d", len(log), len(evFrames))
+	}
+	for i, rec := range log {
+		if rec.Action == "vandalized" || rec.Frame == -99 {
+			t.Fatalf("session event log aliased the observer's FrameStats copy: %+v", rec)
+		}
+		if rec.Frame != evFrames[i] {
+			t.Fatalf("log record %d frame %d, observer saw %d", i, rec.Frame, evFrames[i])
+		}
+	}
+}

@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Format selects the Flusher's wire form.
+type Format int
+
+const (
+	// FormatJSON writes one JSON object per flush — the schema Line
+	// documents, and the one tlmcheck and CI validate.
+	FormatJSON Format = iota
+	// FormatGraphite writes one `key value unix-ts` text line per
+	// metric per flush, the plaintext form graphite-style collectors
+	// ingest directly.
+	FormatGraphite
+)
+
+// Line is the JSON flush schema: one object per flush interval.
+// Counters are cumulative over the run, gauges carry their last set
+// value, and timers aggregate only the samples of the flushed interval.
+// Timer values are nanoseconds by the repo-wide convention. Seq counts
+// flushes from 0 and Frame tags the frame clock position (-1 when the
+// producer has no frame clock, e.g. benchjson).
+type Line struct {
+	Seq      int64                 `json:"seq"`
+	TS       float64               `json:"ts"` // unix seconds
+	Frame    int64                 `json:"frame"`
+	Source   string                `json:"source,omitempty"`
+	Counters map[string]int64      `json:"counters,omitempty"`
+	Gauges   map[string]float64    `json:"gauges,omitempty"`
+	Timers   map[string]TimerStats `json:"timers,omitempty"`
+}
+
+// Flusher reduces a registry to flush lines on a writer. It is the only
+// component that drains timer sample buffers, and it recycles them in
+// place, so a run flushes indefinitely in bounded memory. A Flusher is
+// not safe for concurrent Flush calls; the record path (the metric
+// handles) stays concurrent-safe throughout.
+type Flusher struct {
+	reg     *Registry
+	w       io.Writer
+	format  Format
+	source  string
+	now     func() time.Time
+	seq     int64
+	scratch []float64
+}
+
+// FlusherOption configures a Flusher at construction.
+type FlusherOption func(*Flusher)
+
+// WithFormat selects the wire form (default FormatJSON).
+func WithFormat(f Format) FlusherOption { return func(fl *Flusher) { fl.format = f } }
+
+// WithSource tags every line with a producer name (e.g. "trafficsim").
+func WithSource(s string) FlusherOption { return func(fl *Flusher) { fl.source = s } }
+
+// WithClock overrides the timestamp source — tests pin it for
+// reproducible lines.
+func WithClock(now func() time.Time) FlusherOption { return func(fl *Flusher) { fl.now = now } }
+
+// NewFlusher builds a flusher over reg writing to w.
+func NewFlusher(reg *Registry, w io.Writer, opts ...FlusherOption) *Flusher {
+	fl := &Flusher{reg: reg, w: w, now: time.Now, scratch: make([]float64, 0, reg.timerCap)}
+	for _, o := range opts {
+		o(fl)
+	}
+	return fl
+}
+
+// Seq returns the number of flushes emitted so far.
+func (fl *Flusher) Seq() int64 { return fl.seq }
+
+// Flush snapshots the registry, writes one flush (a JSON line or a
+// graphite block), and resets every timer's interval buffer. frame tags
+// the producer's frame clock (-1 for clock-less producers). Every
+// registered key is emitted on every flush — persistent keys are the
+// contract downstream differencing relies on — including timers that
+// saw no samples this interval (count 0).
+func (fl *Flusher) Flush(frame int64) error {
+	line := fl.snapshot(frame)
+	fl.seq++
+	switch fl.format {
+	case FormatGraphite:
+		return fl.writeGraphite(line)
+	default:
+		data, err := json.Marshal(line)
+		if err != nil {
+			return err
+		}
+		data = append(data, '\n')
+		_, err = fl.w.Write(data)
+		return err
+	}
+}
+
+// snapshot reduces the registry to one Line, draining timer intervals.
+func (fl *Flusher) snapshot(frame int64) Line {
+	r := fl.reg
+	line := Line{
+		Seq:    fl.seq,
+		TS:     float64(fl.now().UnixNano()) / 1e9,
+		Frame:  frame,
+		Source: fl.source,
+	}
+	r.mu.Lock()
+	counterNames := r.counterNames
+	gaugeNames := r.gaugeNames
+	timerNames := r.timerNames
+	r.mu.Unlock()
+	if len(counterNames) > 0 {
+		line.Counters = make(map[string]int64, len(counterNames))
+		for _, n := range counterNames {
+			line.Counters[n] = fl.reg.Counter(n).Value()
+		}
+	}
+	if len(gaugeNames) > 0 {
+		line.Gauges = make(map[string]float64, len(gaugeNames))
+		for _, n := range gaugeNames {
+			line.Gauges[n] = fl.reg.Gauge(n).Value()
+		}
+	}
+	if len(timerNames) > 0 {
+		line.Timers = make(map[string]TimerStats, len(timerNames))
+		for _, n := range timerNames {
+			t := fl.reg.Timer(n)
+			samples, overflow := t.drain(fl.scratch)
+			line.Timers[n] = reduce(samples, overflow)
+			// The drained buffer becomes the scratch handed to the next
+			// timer: buffers circulate, nothing re-allocates.
+			fl.scratch = samples
+		}
+	}
+	return line
+}
+
+// writeGraphite renders one flush as `key value ts` lines, keys
+// namespaced by kind (counters./gauges./timers.) under the source.
+func (fl *Flusher) writeGraphite(line Line) error {
+	ts := int64(line.TS)
+	prefix := ""
+	if line.Source != "" {
+		prefix = line.Source + "."
+	}
+	r := fl.reg
+	r.mu.Lock()
+	counterNames := append([]string(nil), r.counterNames...)
+	gaugeNames := append([]string(nil), r.gaugeNames...)
+	timerNames := append([]string(nil), r.timerNames...)
+	r.mu.Unlock()
+	for _, n := range counterNames {
+		if _, err := fmt.Fprintf(fl.w, "%scounters.%s %d %d\n", prefix, n, line.Counters[n], ts); err != nil {
+			return err
+		}
+	}
+	for _, n := range gaugeNames {
+		if _, err := fmt.Fprintf(fl.w, "%sgauges.%s %g %d\n", prefix, n, line.Gauges[n], ts); err != nil {
+			return err
+		}
+	}
+	for _, n := range timerNames {
+		st := line.Timers[n]
+		if _, err := fmt.Fprintf(fl.w, "%stimers.%s.count %d %d\n", prefix, n, st.Count, ts); err != nil {
+			return err
+		}
+		if st.Count == 0 {
+			continue
+		}
+		for _, kv := range [...]struct {
+			k string
+			v float64
+		}{{"min", st.Min}, {"mean", st.Mean}, {"max", st.Max}, {"p50", st.P50}, {"p90", st.P90}, {"p99", st.P99}} {
+			if _, err := fmt.Fprintf(fl.w, "%stimers.%s.%s %g %d\n", prefix, n, kv.k, kv.v, ts); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -2,6 +2,8 @@ package traffic
 
 import (
 	"testing"
+
+	"repro/internal/telemetry"
 )
 
 // TestEngineFrameAllocBudget pins the steady-state allocation budget of
@@ -37,5 +39,35 @@ func TestEngineFrameAllocBudget(t *testing.T) {
 	}
 	if rep := eng.Report(); rep.UplinkBitErrs != 0 {
 		t.Fatalf("%d uplink bit errors", rep.UplinkBitErrs)
+	}
+}
+
+// TestEngineStageTimerAllocBudget pins the telemetry record path on the
+// frame loop at zero extra allocations: a stage-timed frame must fit
+// the same budget as the untimed one, because timing adds only clock
+// reads and bounded sample appends into preallocated timer buffers.
+func TestEngineStageTimerAllocBudget(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	cfg := DefaultConfig()
+	cfg.Frame = smallFrame(2, 2)
+	cfg.EbN0dB = 9
+	eng := newEngine(t, cfg, []Terminal{
+		{ID: "t0", Beam: 0, Model: CBR{Cells: 2}},
+		{ID: "t1", Beam: 1, Model: CBR{Cells: 2}},
+	}, "conv-r1/2-k9")
+	eng.SetStageTimers(NewStageTimers(telemetry.NewRegistry()))
+	if err := eng.RunFrames(3); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if err := eng.RunFrames(1); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 200 // same bound as the untimed TestEngineFrameAllocBudget
+	if allocs > budget {
+		t.Fatalf("stage-timed frame loop allocates %v per frame, budget %d", allocs, budget)
 	}
 }

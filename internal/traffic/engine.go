@@ -177,6 +177,11 @@ type Engine struct {
 	cls    [switchfab.NumClasses]clsAccum
 	latSum int
 	wall   time.Duration
+
+	// stages, when attached, receives one per-stage duration sample per
+	// frame (see StageTimers). Nil means the untimed hot path: no clock
+	// reads at all.
+	stages *StageTimers
 }
 
 // termState is one terminal's live engine state: the terminal itself,
@@ -512,8 +517,12 @@ func (e *Engine) step() error {
 	k := InfoBitsFor(codec, budget)
 	e.pl.SetBurstCodedBits(codec.EncodedLen(k))
 
+	var t0 time.Time
+	if e.stages != nil {
+		t0 = time.Now()
+	}
 	cells := e.dama(f, k)
-	if err := e.uplink(f, codec, cells); err != nil {
+	if err := e.uplink(f, codec, cells, t0); err != nil {
 		return err
 	}
 	return e.downlink(f, codec)
@@ -604,8 +613,17 @@ func (e *Engine) dama(f, k int) []uplinkCell {
 // enter the switching fabric's bounded class queues directly (typed
 // with class, terminal and ingress frame), so there is no second
 // engine-owned queue layer to copy into.
-func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
+// When stage timers are attached, the frame's synthesis stage spans
+// from t0 (taken before DAMA) through the modulation fan-out, and the
+// receive stage covers the payload pipeline plus receipt accounting —
+// one observation each per frame, idle frames included, so per-stage
+// sample counts line up with the frame count.
+func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell, t0 time.Time) error {
 	if len(cells) == 0 {
+		if e.stages != nil {
+			e.stages.observe(e.stages.Synthesis, time.Since(t0).Nanoseconds())
+			e.stages.observe(e.stages.Receive, 0)
+		}
 		return nil
 	}
 	if e.fc == nil {
@@ -704,6 +722,11 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 		}
 	})
 
+	var tRecv time.Time
+	if e.stages != nil {
+		tRecv = time.Now()
+		e.stages.observe(e.stages.Synthesis, tRecv.Sub(t0).Nanoseconds())
+	}
 	receipts := e.pl.ReceiveFrameAndRouteQoS(fc, asgs, e.metas)
 	for i, r := range receipts {
 		e.met.UplinkBursts++
@@ -731,6 +754,9 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 		// Queue-full tail drops happened inside the fabric, per class;
 		// Metrics folds its counters into the report.
 	}
+	if e.stages != nil {
+		e.stages.observe(e.stages.Receive, time.Since(tRecv).Nanoseconds())
+	}
 	return nil
 }
 
@@ -739,6 +765,10 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell) error {
 // the transmit grid, no intermediate drain — transmits the wideband
 // frame and, when configured, verifies it on a ground receiver.
 func (e *Engine) downlink(f int, codec fec.Codec) error {
+	var t time.Time
+	if e.stages != nil {
+		t = time.Now()
+	}
 	e.sent = e.sent[:0]
 	e.fill.frame = f
 	e.fill.codec = codec
@@ -750,13 +780,26 @@ func (e *Engine) downlink(f int, codec fec.Codec) error {
 		e.fill.beam, e.fill.slot = b, 0
 		e.fab.Schedule(e.dlsched, b, e.cfg.Frame.Slots, e.emitFn)
 	}
+	if e.stages != nil {
+		now := time.Now()
+		e.stages.observe(e.stages.Schedule, now.Sub(t).Nanoseconds())
+		t = now
+	}
 
 	wide, err := e.tx.TransmitFrameGrid(e.cfg.Frame, e.grid)
 	if err != nil {
 		return fmt.Errorf("traffic: frame %d downlink: %w", f, err)
 	}
+	if e.stages != nil {
+		now := time.Now()
+		e.stages.observe(e.stages.Transmit, now.Sub(t).Nanoseconds())
+		t = now
+	}
 	if e.cfg.Verify {
 		e.verify(wide, codec)
+		if e.stages != nil {
+			e.stages.observe(e.stages.Verify, time.Since(t).Nanoseconds())
+		}
 	}
 	dsp.PutVec(wide)
 	return nil

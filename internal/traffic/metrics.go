@@ -8,23 +8,25 @@ import (
 	"repro/internal/switchfab"
 )
 
-// TerminalStats is the per-terminal slice of the run metrics.
+// TerminalStats is the per-terminal slice of the run metrics. The JSON
+// tags are the -report-json schema campaign tooling consumes; field
+// names are frozen there.
 type TerminalStats struct {
-	ID            string
-	Model         string
-	OfferedCells  int
-	GrantedCells  int
-	UplinkBits    int // info bits decoded on the uplink
-	DeliveredBits int // info bits transmitted on the downlink
+	ID            string `json:"id"`
+	Model         string `json:"model"`
+	OfferedCells  int    `json:"offered_cells"`
+	GrantedCells  int    `json:"granted_cells"`
+	UplinkBits    int    `json:"uplink_bits"`    // info bits decoded on the uplink
+	DeliveredBits int    `json:"delivered_bits"` // info bits transmitted on the downlink
 
 	// Burst synchronization stats from the payload's receive chain,
 	// aggregated over the terminal's uplink bursts. CFO figures are the
 	// feedforward frequency estimates in cycles/symbol; they stay zero
 	// when the legacy (clean-channel) sync chain is active.
-	SyncBursts  int     // bursts contributing to the sync stats
-	MeanAbsCFO  float64 // mean |CFO estimate| (cycles/symbol)
-	MaxAbsCFO   float64 // max |CFO estimate| (cycles/symbol)
-	MinUWMetric float64 // worst unique-word correlation seen
+	SyncBursts  int     `json:"sync_bursts"`             // bursts contributing to the sync stats
+	MeanAbsCFO  float64 `json:"mean_abs_cfo,omitempty"`  // mean |CFO estimate| (cycles/symbol)
+	MaxAbsCFO   float64 `json:"max_abs_cfo,omitempty"`   // max |CFO estimate| (cycles/symbol)
+	MinUWMetric float64 `json:"min_uw_metric,omitempty"` // worst unique-word correlation seen
 }
 
 // ClassStats is the per-traffic-class slice of the run metrics: the
@@ -35,66 +37,66 @@ type TerminalStats struct {
 // the switchfab class value (BE, AF, EF), so single-class runs read
 // their familiar totals from the BE row.
 type ClassStats struct {
-	Class            string // spec-level class name ("be", "af", "ef")
-	RoutedPackets    int    // packets the fabric enqueued
-	DroppedQueue     int    // packets tail-dropped by a full class queue
-	DroppedReencode  int    // scheduled packets whose codeword no longer fits a burst
-	DeliveredPackets int
-	DeliveredBits    int
-	HighWater        int // peak occupancy of any single beam's queue of this class
-	LatencySum       int // frames, summed over delivered packets
-	LatencyMean      float64
-	LatencyMax       int
+	Class            string  `json:"class"`            // spec-level class name ("be", "af", "ef")
+	RoutedPackets    int     `json:"routed_packets"`   // packets the fabric enqueued
+	DroppedQueue     int     `json:"dropped_queue"`    // packets tail-dropped by a full class queue
+	DroppedReencode  int     `json:"dropped_reencode"` // scheduled packets whose codeword no longer fits a burst
+	DeliveredPackets int     `json:"delivered_packets"`
+	DeliveredBits    int     `json:"delivered_bits"`
+	HighWater        int     `json:"high_water"`  // peak occupancy of any single beam's queue of this class
+	LatencySum       int     `json:"latency_sum"` // frames, summed over delivered packets
+	LatencyMean      float64 `json:"latency_mean"`
+	LatencyMax       int     `json:"latency_max"`
 }
 
 // Report is the metrics layer of one engine run. Model-time figures use
 // the MF-TDMA frame duration at the paper's TDMA symbol rate; wall-time
 // figures measure the software pipeline itself.
 type Report struct {
-	Frames       int
-	OutageFrames int // frames skipped because no codec was loaded mid-reconfiguration
+	Frames       int `json:"frames"`
+	OutageFrames int `json:"outage_frames"` // frames skipped because no codec was loaded mid-reconfiguration
 
 	// Capacity requests.
-	OfferedCells   int // cells requested by the population
-	GrantedCells   int // cells allocated by the scheduler
-	DeniedCells    int // requests clipped by a full frame
-	ThrottledCells int // requests suppressed by downlink backpressure
+	OfferedCells   int `json:"offered_cells"`   // cells requested by the population
+	GrantedCells   int `json:"granted_cells"`   // cells allocated by the scheduler
+	DeniedCells    int `json:"denied_cells"`    // requests clipped by a full frame
+	ThrottledCells int `json:"throttled_cells"` // requests suppressed by downlink backpressure
 
 	// Regenerative loop.
-	UplinkBursts   int // bursts pushed through DEMOD/DECOD
-	UplinkFailures int // bursts lost on the uplink (not found / service down)
-	UplinkBitErrs  int // info-bit errors on decoded uplink bursts
+	UplinkBursts   int `json:"uplink_bursts"`   // bursts pushed through DEMOD/DECOD
+	UplinkFailures int `json:"uplink_failures"` // bursts lost on the uplink (not found / service down)
+	UplinkBitErrs  int `json:"uplink_bit_errs"` // info-bit errors on decoded uplink bursts
 
 	// Downlink queues.
-	DeliveredPackets int
-	DeliveredBits    int
-	DroppedQueue     int // packets dropped by the bounded per-beam queues
-	DroppedReencode  int // packets whose codeword no longer fits a burst after a codec swap
-	QueueHighWater   []int
+	DeliveredPackets int   `json:"delivered_packets"`
+	DeliveredBits    int   `json:"delivered_bits"`
+	DroppedQueue     int   `json:"dropped_queue"`    // packets dropped by the bounded per-beam queues
+	DroppedReencode  int   `json:"dropped_reencode"` // packets whose codeword no longer fits a burst after a codec swap
+	QueueHighWater   []int `json:"queue_high_water"`
 
 	// End-to-end latency in frames (uplink ingress to downlink egress).
 	// LatencySum is the raw sum over delivered packets, so callers can
 	// compute means over run segments (phase B mean = sum delta over
 	// delivered delta); LatencyMean is the whole-run mean.
-	LatencySum  int
-	LatencyMean float64
-	LatencyMax  int
+	LatencySum  int     `json:"latency_sum"`
+	LatencyMean float64 `json:"latency_mean"`
+	LatencyMax  int     `json:"latency_max"`
 
 	// Downlink verification (ground demodulation of the transmitted
 	// wideband block); only populated when Config.Verify is set.
-	Verified        bool
-	DownlinkLost    int
-	DownlinkBitErrs int
+	Verified        bool `json:"verified"`
+	DownlinkLost    int  `json:"downlink_lost"`
+	DownlinkBitErrs int  `json:"downlink_bit_errs"`
 
-	WallSeconds  float64
-	ModelSeconds float64
+	WallSeconds  float64 `json:"wall_seconds"`
+	ModelSeconds float64 `json:"model_seconds"`
 
 	// PerClass breaks the downlink queue and delivery figures down by
 	// traffic class (one row per switchfab class, BE first). Populated
 	// by Metrics and Report alike; all-BE runs concentrate in row 0.
-	PerClass []ClassStats
+	PerClass []ClassStats `json:"per_class"`
 
-	PerTerminal []TerminalStats
+	PerTerminal []TerminalStats `json:"per_terminal"`
 }
 
 // multiClass reports whether any priority class (AF/EF) saw traffic —

@@ -1,0 +1,54 @@
+package traffic
+
+import "repro/internal/telemetry"
+
+// StageTimers carries the engine's per-stage frame timers — the
+// software mirror of the paper's per-pipeline-stage FPGA
+// instrumentation. Each timer records one observation per frame (in
+// nanoseconds) for its stage of the closed loop:
+//
+//	Synthesis — DAMA grant + terminal-side encode/modulate/channel
+//	Receive   — payload receive pipeline + switch routing
+//	Schedule  — downlink scheduler fill of the transmit grid
+//	Transmit  — wideband DUC/MUX/DAC transmit
+//	Verify    — ground demodulation check (only when Config.Verify)
+//
+// Individual timers may be nil; the engine skips them. An engine with
+// no StageTimers attached takes no timestamps at all, so the untimed
+// hot path is byte-for-byte the pre-telemetry one.
+type StageTimers struct {
+	Synthesis *telemetry.Timer
+	Receive   *telemetry.Timer
+	Schedule  *telemetry.Timer
+	Transmit  *telemetry.Timer
+	Verify    *telemetry.Timer
+}
+
+// NewStageTimers registers the engine stage timer set on reg under the
+// engine.stage.* keys.
+func NewStageTimers(reg *telemetry.Registry) *StageTimers {
+	return &StageTimers{
+		Synthesis: reg.Timer("engine.stage.synthesis_ns"),
+		Receive:   reg.Timer("engine.stage.receive_ns"),
+		Schedule:  reg.Timer("engine.stage.schedule_ns"),
+		Transmit:  reg.Timer("engine.stage.transmit_ns"),
+		Verify:    reg.Timer("engine.stage.verify_ns"),
+	}
+}
+
+// SetStageTimers attaches (or, with nil, detaches) the per-stage frame
+// timers at a frame boundary. The record path is allocation-free:
+// timing adds two monotonic clock reads per stage and one bounded
+// sample append per timer, nothing else.
+func (e *Engine) SetStageTimers(st *StageTimers) { e.stages = st }
+
+// StageTimers returns the attached per-stage timers (nil when untimed).
+func (e *Engine) StageTimers() *StageTimers { return e.stages }
+
+// observe records v into t when both the stage set and the timer are
+// present.
+func (t *StageTimers) observe(tm *telemetry.Timer, ns int64) {
+	if tm != nil {
+		tm.Observe(float64(ns))
+	}
+}
