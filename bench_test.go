@@ -421,6 +421,70 @@ func BenchmarkTrafficEngineImpaired(b *testing.B) {
 	}
 }
 
+// BenchmarkTrafficEngineMegapop prices one frame of the two-tier
+// aggregate engine at 120 000 modeled members over a 6-beam downlink —
+// four populations with four tracer terminals each, so per-frame cost
+// is O(populations + tracers + beams), not O(members). This is the
+// speedup-gate bench: the per-beam sharded synthesis/fill path spreads
+// over GOMAXPROCS workers, so the figure at width NumCPU must stay at
+// or below the width-1 figure (cmd/benchjson -speedup-gate).
+func BenchmarkTrafficEngineMegapop(b *testing.B) {
+	cfg := payload.DefaultConfig()
+	cfg.Carriers = 6
+	pl, err := payload.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := pl.SetWaveform(payload.ModeTDMA); err != nil {
+		b.Fatal(err)
+	}
+	if err := pl.SetCodec("conv-r1/2-k9"); err != nil {
+		b.Fatal(err)
+	}
+	tcfg := traffic.DefaultConfig()
+	tcfg.Frame = modem.FrameConfig{Carriers: 6, Slots: 4, SlotSymbols: 320, GuardSymbols: 16}
+	tcfg.EbN0dB = 9
+	beams := []int{0, 1, 2, 3, 4, 5}
+	var terms []traffic.Terminal
+	var pops []traffic.Population
+	add := func(name string, count int, m traffic.AggregateModel) {
+		const nt = 4
+		members := make([]int, nt)
+		for i := range members {
+			j := i * count / nt
+			members[i] = j
+			terms = append(terms, traffic.Terminal{
+				ID:    fmt.Sprintf("%s.%d", name, j),
+				Beam:  beams[traffic.MemberBeam(j, count, len(beams))],
+				Model: m.Member(j),
+			})
+		}
+		pops = append(pops, traffic.Population{
+			Name: name, Beams: beams, Count: count, Model: m, TracerMembers: members,
+		})
+	}
+	add("web", 60000, traffic.AggregateBernoulli{P: 0.0002, Cells: 1, Seed: 7})
+	add("video", 30000, traffic.AggregateBernoulli{P: 0.0002, Cells: 1, Seed: 8})
+	add("voice", 8000, traffic.AggregateBernoulli{P: 0.0005, Cells: 1, Seed: 9})
+	add("flash", 22000, traffic.AggregateHotspot{Base: 0, Surge: 1, Period: 8, Width: 2})
+	eng, err := traffic.NewPopulations(pl, tcfg, terms, pops)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := eng.RunFrames(1); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rep := eng.Report()
+	if rep.UplinkBitErrs != 0 {
+		b.Fatalf("%d uplink bit errors", rep.UplinkBitErrs)
+	}
+}
+
 // BenchmarkScenarioSession prices the declarative runtime on the
 // registered preset populations: one closed-loop frame driven through
 // scenario.Session.Step (event scheduling, metric deltas, observer-free

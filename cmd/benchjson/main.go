@@ -18,8 +18,10 @@
 // at. CI runs the 1x smoke variant on every push; full runs use the go
 // test defaults:
 //
-//	go run ./cmd/benchjson -out BENCH_PR6.json
-//	go run ./cmd/benchjson -benchtime 1x -out BENCH_PR6.json   # smoke
+//	go run ./cmd/benchjson -out BENCH_PR8.json
+//	go run ./cmd/benchjson -benchtime 1x -out BENCH_PR8.json   # smoke
+//	go run ./cmd/benchjson -bench BenchmarkTrafficEngineMegapop \
+//	    -speedup-gate Megapop -min-speedup 0.95                # concurrency gate
 package main
 
 import (
@@ -91,8 +93,10 @@ func main() {
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (e.g. 1x for a smoke run)")
 	pkgs := flag.String("pkgs", ".,./internal/dsp", "comma-separated packages to bench")
 	widthsFlag := flag.String("gomaxprocs", "", "comma-separated GOMAXPROCS widths (default: 1 and NumCPU)")
-	out := flag.String("out", "BENCH_PR6.json", "output file")
+	out := flag.String("out", "BENCH_PR8.json", "output file")
 	telemetryOut := flag.String("telemetry", "", "additionally emit the results as one telemetry flush line (file, or - for stdout)")
+	speedupGate := flag.String("speedup-gate", "", "benchmark name regexp whose widest-width speedup over width 1 must clear -min-speedup")
+	minSpeedup := flag.Float64("min-speedup", 1.0, "minimum (ns/op at width 1) / (ns/op at widest width) ratio for -speedup-gate benchmarks")
 	flag.Parse()
 
 	widths, err := parseWidths(*widthsFlag)
@@ -138,6 +142,64 @@ func main() {
 		}
 	}
 	fmt.Printf("wrote %d results to %s\n", len(file.Results), *out)
+	if *speedupGate != "" {
+		if err := checkSpeedup(file, *speedupGate, *minSpeedup); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// checkSpeedup enforces the concurrency acceptance gate: for every
+// benchmark matching the pattern, the widest-width run must be no
+// slower than min× the width-1 run (min-speedup 0.95 tolerates 5%
+// noise; anything lower means the sharded path regressed below
+// sequential). A single-width sweep — e.g. a 1-core host — has nothing
+// to compare and passes with a note.
+func checkSpeedup(file File, pattern string, min float64) error {
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		return fmt.Errorf("bad -speedup-gate %q: %w", pattern, err)
+	}
+	// ns/op per (package, name) keyed by width.
+	type key struct{ pkg, name string }
+	perf := map[key]map[int]float64{}
+	lo, hi := 0, 0
+	for _, r := range file.Results {
+		if !re.MatchString(r.Name) {
+			continue
+		}
+		k := key{r.Package, r.Name}
+		if perf[k] == nil {
+			perf[k] = map[int]float64{}
+		}
+		perf[k][r.GOMAXPROCS] = r.NsPerOp
+		if lo == 0 || r.GOMAXPROCS < lo {
+			lo = r.GOMAXPROCS
+		}
+		if r.GOMAXPROCS > hi {
+			hi = r.GOMAXPROCS
+		}
+	}
+	if len(perf) == 0 {
+		return fmt.Errorf("no benchmarks matched -speedup-gate %q", pattern)
+	}
+	if lo == hi {
+		fmt.Printf("speedup gate: single width %d, nothing to compare\n", lo)
+		return nil
+	}
+	for k, byWidth := range perf {
+		seq, okSeq := byWidth[lo]
+		par, okPar := byWidth[hi]
+		if !okSeq || !okPar || par == 0 {
+			return fmt.Errorf("speedup gate: %s %s missing a width (have %v)", k.pkg, k.name, byWidth)
+		}
+		speedup := seq / par
+		fmt.Printf("speedup gate: %s %dx/%dx = %.2f (min %.2f)\n", k.name, hi, lo, speedup, min)
+		if speedup < min {
+			return fmt.Errorf("speedup gate: %s at GOMAXPROCS=%d is %.2fx the width-1 rate, below the %.2f floor", k.name, hi, speedup, min)
+		}
+	}
+	return nil
 }
 
 // emitTelemetry reduces the benchmark results to one flush line in the

@@ -60,6 +60,8 @@ func main() {
 	model := flag.String("model", "mix", "population model: cbr, onoff, hotspot or mix")
 	terminals := flag.Int("terminals", 4, "terminal count")
 	cells := flag.Int("cells", 1, "cells per frame a terminal demands (cbr/onoff/hotspot base)")
+	count := flag.Int("count", 0, "lift each population entry to an aggregate of this many members spanning all beams (two-tier model)")
+	tracers := flag.Int("tracers", 4, "members per aggregate population kept on the full per-terminal path (with -count)")
 	queue := flag.Int("queue", 16, "per-(beam, class) downlink queue depth (packets)")
 	policy := flag.String("policy", "drop-tail", "overload policy: drop-tail or backpressure")
 	scheduler := flag.String("scheduler", "fifo", "downlink scheduler: fifo, strict or drr")
@@ -74,7 +76,8 @@ func main() {
 	timingSpread := flag.Bool("timing-spread", false, "spread per-terminal fractional timing offsets across [0, 1)")
 	phaseSpread := flag.Bool("phase-spread", false, "spread per-terminal carrier phase offsets across (-pi, pi]")
 	telemetryOut := flag.String("telemetry", "", "stream telemetry flush lines to a file (- for stdout)")
-	flushEvery := flag.Int("flush-every", 10, "frames per telemetry flush")
+	flushEvery := flag.Int("flush-every", 10, "frames per telemetry flush (0 with -flush-interval for interval-only flushing)")
+	flushInterval := flag.Duration("flush-interval", 0, "also flush when this much wall-clock time has passed (0 disables)")
 	telemetryFormat := flag.String("telemetry-format", "json", "telemetry wire form: json or graphite")
 	reportJSON := flag.String("report-json", "", "write the end-of-run report as JSON to a file")
 	flag.Parse()
@@ -185,6 +188,24 @@ func main() {
 			spec.Terminals[i].Class = c
 		}
 	}
+	// -count lifts every population entry to two-tier aggregate form:
+	// each becomes a population of count members spanning all downlink
+	// beams, with -tracers members kept on the full per-terminal path.
+	if *count > 0 {
+		allBeams := make([]int, spec.Traffic.Carriers)
+		for i := range allBeams {
+			allBeams[i] = i
+		}
+		tr := *tracers
+		if tr > *count {
+			tr = *count
+		}
+		for i := range spec.Terminals {
+			spec.Terminals[i].Count = *count
+			spec.Terminals[i].Tracers = tr
+			spec.Terminals[i].Beams = allBeams
+		}
+	}
 	// A truncated run must not strand scripted events past the horizon
 	// in the banner; they simply never fire.
 	if err := spec.Validate(); err != nil {
@@ -239,9 +260,10 @@ func main() {
 			log.Fatalf("trafficsim: unknown -telemetry-format %q (json or graphite)", *telemetryFormat)
 		}
 		tel = scenario.NewTelemetryObserver(w, scenario.TelemetryConfig{
-			FlushEvery: *flushEvery,
-			Format:     format,
-			Source:     "trafficsim",
+			FlushEvery:    *flushEvery,
+			FlushInterval: *flushInterval,
+			Format:        format,
+			Source:        "trafficsim",
 		})
 		tel.Attach(sess)
 	}
@@ -250,9 +272,22 @@ func main() {
 	if name == "" {
 		name = "ad hoc"
 	}
-	fmt.Printf("trafficsim: scenario %q, %d frames, %dx%d grid, codec=%s, %d terminals, queue=%d (%s), Eb/N0=%.1f dB, %d scripted events\n",
+	members, traced := 0, 0
+	for _, t := range spec.Terminals {
+		if t.Count > 0 {
+			members += t.Count
+			traced += t.Tracers
+		} else {
+			members++
+		}
+	}
+	popDesc := fmt.Sprintf("%d terminals", len(spec.Terminals))
+	if members > len(spec.Terminals) {
+		popDesc = fmt.Sprintf("%d entries / %d modeled members (%d traced)", len(spec.Terminals), members, traced)
+	}
+	fmt.Printf("trafficsim: scenario %q, %d frames, %dx%d grid, codec=%s, %s, queue=%d (%s), Eb/N0=%.1f dB, %d scripted events\n",
 		name, spec.Frames, spec.Traffic.Carriers, spec.Traffic.Slots, spec.System.Codec,
-		len(spec.Terminals), spec.Traffic.QueueDepth, spec.Traffic.Policy, spec.Traffic.EbN0dB, len(spec.Events))
+		popDesc, spec.Traffic.QueueDepth, spec.Traffic.Policy, spec.Traffic.EbN0dB, len(spec.Events))
 
 	rep, err := sess.Run(context.Background())
 	if err != nil {

@@ -1,0 +1,202 @@
+package scenario
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+// liftEveryoneTraced converts every terminal of a preset spec into a
+// single-member, fully-traced population (Count == Tracers == 1) and
+// remaps event references onto the tracer IDs ("<id>.0"). Scripted
+// joins stay plain terminals — populations are construction-time.
+func liftEveryoneTraced(sp Spec) Spec {
+	lifted := map[string]bool{}
+	for i := range sp.Terminals {
+		t := &sp.Terminals[i]
+		t.Count = 1
+		t.Tracers = 1
+		t.Beams = []int{t.Beam}
+		lifted[t.ID] = true
+	}
+	for i := range sp.Events {
+		if ev := &sp.Events[i]; lifted[ev.Terminal] {
+			ev.Terminal += ".0"
+		}
+	}
+	return sp
+}
+
+// runPreset executes a (possibly transformed) spec through the session
+// runtime and returns its report.
+func runPreset(t *testing.T, sp Spec) *traffic.Report {
+	t.Helper()
+	sess, err := NewSession(sp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestEveryoneTracedMatchesPlainPresets is the refactor's safety
+// invariant at the scenario level, on every pre-existing preset: a
+// population with Count == Tracers (everyone traced) must be
+// bit-identical to the plain per-terminal engine — every counter,
+// every burst, every latency figure — with the aggregate remainder
+// contributing nothing, not even RNG draws. Only the terminal IDs
+// (tracers carry "<id>.0") and the all-zero PerPopulation rows differ.
+func TestEveryoneTracedMatchesPlainPresets(t *testing.T) {
+	for _, name := range PresetNames() {
+		if name == "megapop" {
+			continue // born aggregate; has no plain twin
+		}
+		t.Run(name, func(t *testing.T) {
+			sp, err := Preset(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if sp.Frames > 24 {
+				sp.Frames = 24 // truncated run, same shape
+			}
+			plain := runPreset(t, sp)
+			two := liftEveryoneTraced(sp)
+			if err := two.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			got := runPreset(t, two)
+
+			if len(got.PerPopulation) != len(sp.Terminals) {
+				t.Fatalf("%d population rows, want %d", len(got.PerPopulation), len(sp.Terminals))
+			}
+			for _, ps := range got.PerPopulation {
+				if ps.OfferedCells != 0 || ps.GrantedCells != 0 || ps.RoutedPackets != 0 || ps.DeliveredPackets != 0 {
+					t.Fatalf("everyone traced but aggregate remainder saw traffic: %+v", ps)
+				}
+			}
+			// Fold the lifted run back onto the plain shape: strip the
+			// ".0" member suffix from tracer IDs, drop the population
+			// rows, ignore wall time.
+			got.PerPopulation = nil
+			for i := range got.PerTerminal {
+				got.PerTerminal[i].ID = strings.TrimSuffix(got.PerTerminal[i].ID, ".0")
+			}
+			got.WallSeconds, plain.WallSeconds = 0, 0
+			if !reflect.DeepEqual(got, plain) {
+				t.Fatalf("everyone-traced run diverged from the plain preset:\nplain    %+v\ntwo-tier %+v", plain, got)
+			}
+		})
+	}
+}
+
+// TestMegapopPresetRuns smokes the scale-out preset end to end at a
+// truncated frame count: 120 000 modeled members must run at the cost
+// of populations + tracers + beams, deliver traffic from every
+// population, and keep the closed loop bit-exact.
+func TestMegapopPresetRuns(t *testing.T) {
+	sp, err := Preset("megapop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Frames = 10
+	rep := runPreset(t, sp)
+	if rep.UplinkBitErrs != 0 || rep.DownlinkBitErrs != 0 || rep.DownlinkLost != 0 {
+		t.Fatalf("megapop loop not clean: %+v", rep)
+	}
+	if len(rep.PerPopulation) != 4 {
+		t.Fatalf("%d population rows", len(rep.PerPopulation))
+	}
+	members := 0
+	for _, ps := range rep.PerPopulation {
+		members += ps.Members
+		if ps.GrantedCells+ps.DeniedCells+ps.ThrottledCells != ps.OfferedCells {
+			t.Fatalf("population %s admission ledger out of balance: %+v", ps.Name, ps)
+		}
+	}
+	if members < 100000 {
+		t.Fatalf("%d modeled members, want >= 1e5", members)
+	}
+	if rep.DeliveredPackets == 0 {
+		t.Fatal("megapop delivered nothing")
+	}
+	// Tracers ride PerTerminal: 4 populations x 6 tracers.
+	if len(rep.PerTerminal) != 24 {
+		t.Fatalf("%d tracer rows, want 24", len(rep.PerTerminal))
+	}
+}
+
+// TestPopulationSpecValidation covers the population branch of spec
+// validation: tracer bounds, beam ranges, model gating, and the
+// no-mid-run-join rule.
+func TestPopulationSpecValidation(t *testing.T) {
+	base := func() Spec {
+		sp := Clean()
+		sp.Terminals = []TerminalSpec{{
+			ID: "pop", Count: 100, Tracers: 2, Beams: []int{0, 1, 2},
+			Model: ModelSpec{Kind: "cbr", Cells: 1},
+		}}
+		return sp
+	}
+	if err := base().Validate(); err != nil {
+		t.Fatalf("valid population rejected: %v", err)
+	}
+	cases := []struct {
+		name string
+		mut  func(*Spec)
+	}{
+		{"tracers exceed count", func(sp *Spec) { sp.Terminals[0].Tracers = 101 }},
+		{"negative tracers", func(sp *Spec) { sp.Terminals[0].Tracers = -1 }},
+		{"beam out of range", func(sp *Spec) { sp.Terminals[0].Beams = []int{0, 7} }},
+		{"bernoulli needs prob", func(sp *Spec) { sp.Terminals[0].Model = ModelSpec{Kind: "bernoulli"} }},
+		{"bernoulli prob beyond 1", func(sp *Spec) {
+			sp.Terminals[0].Model = ModelSpec{Kind: "bernoulli", Prob: 1.5}
+		}},
+		{"plain terminal with tracers", func(sp *Spec) { sp.Terminals[0].Count = 0 }},
+		{"plain terminal with beam list", func(sp *Spec) {
+			sp.Terminals[0].Count = 0
+			sp.Terminals[0].Tracers = 0
+		}},
+		{"population join", func(sp *Spec) {
+			sp.Events = []Event{{Frame: 2, Action: ActionJoin, Join: &TerminalSpec{
+				ID: "late", Count: 10, Tracers: 1, Model: ModelSpec{Kind: "cbr", Cells: 1}}}}
+		}},
+		{"tracer ID collision", func(sp *Spec) {
+			sp.Terminals = append(sp.Terminals, TerminalSpec{
+				ID: "pop.0", Model: ModelSpec{Kind: "cbr", Cells: 1}})
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sp := base()
+			tc.mut(&sp)
+			if err := sp.Validate(); err == nil {
+				t.Fatal("invalid spec accepted")
+			}
+		})
+	}
+
+	// Events address tracers by their member IDs; the bare population
+	// name is not a terminal.
+	sp := base()
+	sp.Events = []Event{{Frame: 2, Action: ActionSetClass, Terminal: "pop.0", Class: "af"}}
+	if err := sp.Validate(); err != nil {
+		t.Fatalf("tracer event rejected: %v", err)
+	}
+	sp.Events[0].Terminal = "pop"
+	if err := sp.Validate(); err == nil {
+		t.Fatal("population-name event accepted")
+	}
+
+	// Bernoulli is population-only: a plain terminal must reject it.
+	sp = base()
+	sp.Terminals = []TerminalSpec{{ID: "t", Model: ModelSpec{Kind: "bernoulli", Prob: 0.5}}}
+	if err := sp.Validate(); err == nil {
+		t.Fatal("per-terminal bernoulli accepted")
+	}
+}

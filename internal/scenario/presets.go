@@ -16,6 +16,7 @@ var presets = map[string]func() Spec{
 	"swap-under-load": SwapUnderLoad,
 	"fade-ramp":       FadeRamp,
 	"qos-priority":    QoSPriority,
+	"megapop":         Megapop,
 }
 
 // Preset returns the named preset spec.
@@ -272,6 +273,39 @@ func QoSPriority() Spec {
 	}
 	sp.Events = []Event{
 		{Frame: 20, Action: ActionSetClass, Terminal: "web", Class: "af"},
+	}
+	return sp
+}
+
+// Megapop is the two-tier scale-out preset: 120 000 modeled terminals
+// in four aggregate populations spanning a 6-beam downlink, with six
+// tracer terminals per population keeping the full per-terminal path
+// (sync stats, latency) alive. The thin Bernoulli classes size their
+// mean offered load near the 24-cell frame capacity, while the flash
+// population's surge windows slam the whole 22 000-member crowd into
+// the scheduler at once — periodic overload against strict priority
+// with a one-slot best-effort floor. Frame cost scales with
+// populations + tracers + beams, not Count, which is the point.
+func Megapop() Spec {
+	sp := Spec{
+		Name:        "megapop",
+		Description: "120k-terminal two-tier populations over 6 beams: Bernoulli classes near capacity, periodic flash-crowd overload",
+		Frames:      40,
+		System:      SystemSpec{Codec: "conv-r1/2-k9"},
+		Traffic:     baseTraffic(81),
+	}
+	sp.Traffic.Carriers = 6
+	sp.Traffic.Scheduler = &SchedulerSpec{Kind: "strict", BEFloor: 1}
+	allBeams := []int{0, 1, 2, 3, 4, 5}
+	sp.Terminals = []TerminalSpec{
+		{ID: "web", Class: "be", Count: 60000, Tracers: 6, Beams: allBeams,
+			Model: ModelSpec{Kind: "bernoulli", Prob: 0.0002, Cells: 1}},
+		{ID: "video", Class: "af", Count: 30000, Tracers: 6, Beams: allBeams,
+			Model: ModelSpec{Kind: "bernoulli", Prob: 0.0002, Cells: 1}},
+		{ID: "voice", Class: "ef", Count: 8000, Tracers: 6, Beams: allBeams,
+			Model: ModelSpec{Kind: "bernoulli", Prob: 0.0005, Cells: 1}},
+		{ID: "flash", Class: "be", Count: 22000, Tracers: 6, Beams: allBeams,
+			Model: ModelSpec{Kind: "hotspot", Base: 0, Surge: 1, Period: 8, Width: 2}},
 	}
 	return sp
 }

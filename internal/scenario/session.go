@@ -229,12 +229,13 @@ func NewSession(spec Spec, opts ...Option) (*Session, error) {
 		cfg = *s.cfg
 	}
 	terms := s.pop
+	var pops []traffic.Population
 	if terms == nil {
-		if terms, err = s.spec.Population(); err != nil {
+		if terms, pops, err = s.spec.Populations(); err != nil {
 			return nil, err
 		}
 	}
-	eng, err := traffic.New(s.pl, cfg, terms)
+	eng, err := traffic.NewPopulations(s.pl, cfg, terms, pops)
 	if err != nil {
 		return nil, err
 	}

@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"math"
 	"os"
@@ -131,8 +132,9 @@ func (s *SchedulerSpec) Build() (switchfab.Scheduler, error) {
 	}
 }
 
-// ModelSpec is a declarative traffic model; Kind selects cbr, onoff or
-// hotspot, the remaining fields parameterize it (unused ones stay 0).
+// ModelSpec is a declarative traffic model; Kind selects cbr, onoff,
+// hotspot or (for population entries only) bernoulli, the remaining
+// fields parameterize it (unused ones stay 0).
 type ModelSpec struct {
 	Kind   string `json:"kind"`
 	Cells  int    `json:"cells,omitempty"`
@@ -143,6 +145,9 @@ type ModelSpec struct {
 	Surge  int    `json:"surge,omitempty"`
 	Period int    `json:"period,omitempty"`
 	Width  int    `json:"width,omitempty"`
+	// Prob is the per-member per-frame request probability of the
+	// bernoulli population model (0 < prob <= 1).
+	Prob float64 `json:"prob,omitempty"`
 }
 
 // ChannelSpec is the JSON mirror of traffic.ChannelProfile.
@@ -155,15 +160,27 @@ type ChannelSpec struct {
 	EsN0dB float64 `json:"esn0_db,omitempty"`
 }
 
-// TerminalSpec is one terminal of the population. Class is the traffic
-// class its packets carry through the switching fabric ("be" — the
-// default — "af" or "ef").
+// TerminalSpec is one terminal — or, when Count is positive, one
+// aggregate population — of the spec. Class is the traffic class its
+// packets carry through the switching fabric ("be" — the default —
+// "af" or "ef").
+//
+// A population entry models Count members under the two-tier engine:
+// Tracers of them (member indices spread evenly across the count) run
+// as full per-terminal sources named "<id>.<member>", the remainder
+// rides the model's aggregate form. Beams homes the members across
+// several downlink beams by contiguous blocks; empty means [Beam]. A
+// population with Count == Tracers is bit-identical to writing the
+// members out as plain terminals.
 type TerminalSpec struct {
 	ID      string       `json:"id"`
 	Beam    int          `json:"beam"`
 	Class   string       `json:"class,omitempty"`
 	Model   ModelSpec    `json:"model"`
 	Channel *ChannelSpec `json:"channel,omitempty"`
+	Count   int          `json:"count,omitempty"`
+	Tracers int          `json:"tracers,omitempty"`
+	Beams   []int        `json:"beams,omitempty"`
 }
 
 // Event actions. Events execute at the boundary before their frame runs.
@@ -319,8 +336,35 @@ func (m ModelSpec) Build() (traffic.Model, error) {
 		return traffic.OnOff{On: m.On, Off: m.Off, Cells: m.Cells, Phase: m.Phase}, nil
 	case "hotspot":
 		return traffic.Hotspot{Base: m.Base, Surge: m.Surge, Period: m.Period, Width: m.Width}, nil
+	case "bernoulli":
+		return nil, fmt.Errorf("scenario: bernoulli is a population model (needs count > 0)")
 	default:
 		return nil, fmt.Errorf("scenario: unknown traffic model %q (cbr, onoff or hotspot)", m.Kind)
+	}
+}
+
+// BuildAggregate resolves a declarative model to its population-level
+// aggregate form; seed drives the RNG-backed models (the analytic ones
+// ignore it).
+func (m ModelSpec) BuildAggregate(seed int64) (traffic.AggregateModel, error) {
+	switch m.Kind {
+	case "cbr":
+		return traffic.AggregateCBR{Cells: m.Cells}, nil
+	case "onoff":
+		return traffic.AggregateOnOff{On: m.On, Off: m.Off, Cells: m.Cells, Phase: m.Phase}, nil
+	case "hotspot":
+		return traffic.AggregateHotspot{Base: m.Base, Surge: m.Surge, Period: m.Period, Width: m.Width}, nil
+	case "bernoulli":
+		if m.Prob <= 0 || m.Prob > 1 {
+			return nil, fmt.Errorf("scenario: bernoulli prob %.3f outside (0, 1]", m.Prob)
+		}
+		cells := m.Cells
+		if cells == 0 {
+			cells = 1
+		}
+		return traffic.AggregateBernoulli{P: m.Prob, Cells: cells, Seed: seed}, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown population model %q (cbr, onoff, hotspot or bernoulli)", m.Kind)
 	}
 }
 
@@ -352,17 +396,117 @@ func (t TerminalSpec) Terminal() (traffic.Terminal, error) {
 	return traffic.Terminal{ID: t.ID, Beam: t.Beam, Class: cls, Model: m, Channel: t.Channel.Profile()}, nil
 }
 
-// Population resolves the spec's terminal list.
+// Population resolves the spec's terminal list — the plain-terminal
+// path; specs carrying aggregate population entries (Count > 0) must go
+// through Populations.
 func (sp Spec) Population() ([]traffic.Terminal, error) {
-	out := make([]traffic.Terminal, len(sp.Terminals))
-	for i, t := range sp.Terminals {
-		term, err := t.Terminal()
-		if err != nil {
-			return nil, err
-		}
-		out[i] = term
+	terms, pops, err := sp.Populations()
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	if len(pops) > 0 {
+		return nil, fmt.Errorf("scenario: spec carries aggregate populations; resolve it with Populations")
+	}
+	return terms, nil
+}
+
+// Populations resolves the spec's terminal list under the two-tier
+// model: plain entries become engine terminals, population entries
+// (Count > 0) become one traffic.Population each plus their tracer
+// terminals, spliced into the terminal list in spec order — the order
+// is part of the engine's deterministic seeding contract, so a
+// Count == Tracers population reproduces the plain-terminal run
+// bit for bit.
+func (sp Spec) Populations() ([]traffic.Terminal, []traffic.Population, error) {
+	var terms []traffic.Terminal
+	var pops []traffic.Population
+	for _, t := range sp.Terminals {
+		if t.Count <= 0 {
+			term, err := t.Terminal()
+			if err != nil {
+				return nil, nil, err
+			}
+			terms = append(terms, term)
+			continue
+		}
+		tracers, pop, err := t.population(sp.Traffic.Seed)
+		if err != nil {
+			return nil, nil, err
+		}
+		terms = append(terms, tracers...)
+		pops = append(pops, pop)
+	}
+	return terms, pops, nil
+}
+
+// tracerMember returns the member index of tracer i of a count-member
+// population with n tracers: evenly spread, strictly increasing, and
+// the identity when n == count (everyone traced).
+func tracerMember(i, n, count int) int { return i * count / n }
+
+// TracerIDs lists the terminal IDs a population entry's tracers carry
+// ("<id>.<member>") — what event scripts address and reports show.
+func (t TerminalSpec) TracerIDs() []string {
+	if t.Count <= 0 || t.Tracers <= 0 {
+		return nil
+	}
+	out := make([]string, t.Tracers)
+	for i := range out {
+		out[i] = fmt.Sprintf("%s.%d", t.ID, tracerMember(i, t.Tracers, t.Count))
+	}
+	return out
+}
+
+// population resolves one population entry: the aggregate model (seeded
+// from the traffic seed and the population name, so sibling populations
+// draw independently), the tracer terminals, and the engine Population
+// tying them together.
+func (t TerminalSpec) population(seed int64) ([]traffic.Terminal, traffic.Population, error) {
+	if t.Tracers < 0 || t.Tracers > t.Count {
+		return nil, traffic.Population{}, fmt.Errorf("scenario: population %q traces %d of %d members", t.ID, t.Tracers, t.Count)
+	}
+	agg, err := t.Model.BuildAggregate(popSeed(seed, t.ID))
+	if err != nil {
+		return nil, traffic.Population{}, fmt.Errorf("scenario: population %q: %w", t.ID, err)
+	}
+	cls, err := switchfab.ParseClass(t.Class)
+	if err != nil {
+		return nil, traffic.Population{}, fmt.Errorf("scenario: population %q: %w", t.ID, err)
+	}
+	beams := t.Beams
+	if len(beams) == 0 {
+		beams = []int{t.Beam}
+	}
+	members := make([]int, t.Tracers)
+	tracers := make([]traffic.Terminal, t.Tracers)
+	for i := range tracers {
+		m := tracerMember(i, t.Tracers, t.Count)
+		members[i] = m
+		tracers[i] = traffic.Terminal{
+			ID:      fmt.Sprintf("%s.%d", t.ID, m),
+			Beam:    beams[traffic.MemberBeam(m, t.Count, len(beams))],
+			Class:   cls,
+			Model:   agg.Member(m),
+			Channel: t.Channel.Profile(),
+		}
+	}
+	pop := traffic.Population{
+		Name:          t.ID,
+		Class:         cls,
+		Beams:         beams,
+		Count:         t.Count,
+		Model:         agg,
+		TracerMembers: members,
+	}
+	return tracers, pop, nil
+}
+
+// popSeed mixes the run seed with the population name (FNV-1a), so
+// RNG-driven populations draw independent streams.
+func popSeed(seed int64, name string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return seed ^ int64(h.Sum64())
 }
 
 // SpecFromConfig lifts an imperative engine configuration into a Spec —
@@ -485,6 +629,15 @@ func (sp Spec) validateTerminals() error {
 			return fmt.Errorf("scenario: duplicate terminal %q", term.ID)
 		}
 		seen[term.ID] = true
+		// Tracer terminals of a population entry join the engine's
+		// terminal list under "<id>.<member>" IDs, so those must be
+		// unique across the spec too.
+		for _, tid := range term.TracerIDs() {
+			if seen[tid] {
+				return fmt.Errorf("scenario: duplicate terminal %q (tracer of population %q)", tid, term.ID)
+			}
+			seen[tid] = true
+		}
 		if err := sp.checkTerminal(term); err != nil {
 			return err
 		}
@@ -495,17 +648,46 @@ func (sp Spec) validateTerminals() error {
 // checkTerminal validates one terminal spec minus ID uniqueness (which
 // is timeline-dependent for joins).
 func (sp Spec) checkTerminal(term TerminalSpec) error {
-	if term.Beam < 0 || term.Beam >= sp.Traffic.Carriers {
-		return fmt.Errorf("scenario: terminal %q beam %d outside the %d-beam downlink", term.ID, term.Beam, sp.Traffic.Carriers)
-	}
 	if _, err := switchfab.ParseClass(term.Class); err != nil {
 		return fmt.Errorf("scenario: terminal %q: %w", term.ID, err)
 	}
-	if _, err := term.Model.Build(); err != nil {
-		return err
-	}
 	if m := term.Model; m.Kind == "onoff" && m.On+m.Off <= 0 {
 		return fmt.Errorf("scenario: terminal %q on/off period %d+%d is empty", term.ID, m.On, m.Off)
+	}
+	if term.Count > 0 {
+		// Population entry under the two-tier model.
+		if term.Count < 0 {
+			return fmt.Errorf("scenario: population %q count %d", term.ID, term.Count)
+		}
+		if term.Tracers < 0 || term.Tracers > term.Count {
+			return fmt.Errorf("scenario: population %q traces %d of %d members", term.ID, term.Tracers, term.Count)
+		}
+		beams := term.Beams
+		if len(beams) == 0 {
+			beams = []int{term.Beam}
+		}
+		for _, b := range beams {
+			if b < 0 || b >= sp.Traffic.Carriers {
+				return fmt.Errorf("scenario: population %q beam %d outside the %d-beam downlink", term.ID, b, sp.Traffic.Carriers)
+			}
+		}
+		if _, err := term.Model.BuildAggregate(0); err != nil {
+			return fmt.Errorf("scenario: population %q: %w", term.ID, err)
+		}
+		return nil
+	}
+	// Plain terminal.
+	if term.Tracers != 0 {
+		return fmt.Errorf("scenario: terminal %q sets tracers without a population count", term.ID)
+	}
+	if len(term.Beams) != 0 {
+		return fmt.Errorf("scenario: terminal %q sets a beam list without a population count", term.ID)
+	}
+	if term.Beam < 0 || term.Beam >= sp.Traffic.Carriers {
+		return fmt.Errorf("scenario: terminal %q beam %d outside the %d-beam downlink", term.ID, term.Beam, sp.Traffic.Carriers)
+	}
+	if _, err := term.Model.Build(); err != nil {
+		return err
 	}
 	return nil
 }
@@ -568,6 +750,16 @@ func (sp Spec) validateEvents() error {
 	active := make(map[string]bool, len(sp.Terminals))
 	timeline := make(map[string][]profileChange)
 	for _, term := range sp.Terminals {
+		if term.Count > 0 {
+			// A population entry contributes its tracer terminals to the
+			// engine population; events address those, not the
+			// population itself.
+			for _, tid := range term.TracerIDs() {
+				active[tid] = true
+				timeline[tid] = []profileChange{{0, term.Channel}}
+			}
+			continue
+		}
 		active[term.ID] = true
 		timeline[term.ID] = []profileChange{{0, term.Channel}}
 	}
@@ -603,6 +795,9 @@ func (sp Spec) validateEvents() error {
 			}
 			if active[ev.Join.ID] {
 				return fmt.Errorf("%s: terminal %q already in the population", where, ev.Join.ID)
+			}
+			if ev.Join.Count > 0 {
+				return fmt.Errorf("%s: aggregate populations cannot join mid-run", where)
 			}
 			if err := sp.checkTerminal(*ev.Join); err != nil {
 				return fmt.Errorf("%s: %w", where, err)

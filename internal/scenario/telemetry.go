@@ -12,7 +12,9 @@ import (
 
 // TelemetryConfig shapes the streaming feed of a TelemetryObserver.
 type TelemetryConfig struct {
-	// FlushEvery flushes after every N frames (default 10).
+	// FlushEvery flushes after every N frames. Zero or negative disables
+	// the frame-count trigger when FlushInterval is set (interval-only
+	// flushing); with neither trigger configured it defaults to 10.
 	FlushEvery int
 	// FlushInterval additionally flushes when this much wall-clock time
 	// has passed since the last flush — the long-frame safety valve for
@@ -50,7 +52,8 @@ type TelemetryObserver struct {
 	dropQ, dropRe      *telemetry.Counter
 	events, eventErrs  *telemetry.Counter
 	cls                [switchfab.NumClasses]classCounters
-	queueDepth         []*telemetry.Gauge // per beam, interned at Attach
+	pops               map[string]popCounters // per population, interned on first flush
+	queueDepth         []*telemetry.Gauge     // per beam, interned at Attach
 	sinceFlush         int
 	lastFlush          time.Time
 	lastReport         *traffic.Report // report at the latest flush (Close reuses it)
@@ -62,12 +65,23 @@ type classCounters struct {
 	routed, dropped, reencode, delivered, bits *telemetry.Counter
 }
 
+// popCounters is one aggregate population's interned metric set
+// (two-tier model): admission and delivery counters under
+// "pop.<name>.*" plus the member/tracer split as gauges. Interned
+// lazily at the first flush that reports the population, since the
+// population list lives in the report, not the config.
+type popCounters struct {
+	offered, granted, denied, throttled *telemetry.Counter
+	routed, dropped, delivered, bits    *telemetry.Counter
+	members, tracers                    *telemetry.Gauge
+}
+
 // NewTelemetryObserver builds a telemetry adapter streaming to w. Wire
 // it with Attach (full instrumentation: stage timers and queue gauges
 // need the engine) or install its Observer() by hand (counters, class
 // stats and runtime samples only).
 func NewTelemetryObserver(w io.Writer, cfg TelemetryConfig) *TelemetryObserver {
-	if cfg.FlushEvery <= 0 {
+	if cfg.FlushEvery <= 0 && cfg.FlushInterval <= 0 {
 		cfg.FlushEvery = 10
 	}
 	if cfg.Source == "" {
@@ -151,7 +165,7 @@ func (t *TelemetryObserver) Observer() Observer {
 			}
 		}
 		t.sinceFlush++
-		if t.sinceFlush >= t.cfg.FlushEvery ||
+		if (t.cfg.FlushEvery > 0 && t.sinceFlush >= t.cfg.FlushEvery) ||
 			(t.cfg.FlushInterval > 0 && time.Since(t.lastFlush) >= t.cfg.FlushInterval) {
 			t.flush(int64(st.Frame), report())
 		}
@@ -176,6 +190,38 @@ func (t *TelemetryObserver) flush(frame int64, rep *traffic.Report) {
 		cc.reencode.Add(int64(cs.DroppedReencode) - cc.reencode.Value())
 		cc.delivered.Add(int64(cs.DeliveredPackets) - cc.delivered.Value())
 		cc.bits.Add(int64(cs.DeliveredBits) - cc.bits.Value())
+	}
+	for _, ps := range rep.PerPopulation {
+		pc, ok := t.pops[ps.Name]
+		if !ok {
+			if t.pops == nil {
+				t.pops = make(map[string]popCounters, len(rep.PerPopulation))
+			}
+			p := "pop." + ps.Name + "."
+			pc = popCounters{
+				offered:   t.reg.Counter(p + "offered_cells"),
+				granted:   t.reg.Counter(p + "granted_cells"),
+				denied:    t.reg.Counter(p + "denied_cells"),
+				throttled: t.reg.Counter(p + "throttled_cells"),
+				routed:    t.reg.Counter(p + "routed_packets"),
+				dropped:   t.reg.Counter(p + "dropped_queue"),
+				delivered: t.reg.Counter(p + "delivered_packets"),
+				bits:      t.reg.Counter(p + "delivered_bits"),
+				members:   t.reg.Gauge(p + "members"),
+				tracers:   t.reg.Gauge(p + "tracers"),
+			}
+			t.pops[ps.Name] = pc
+		}
+		pc.offered.Add(int64(ps.OfferedCells) - pc.offered.Value())
+		pc.granted.Add(int64(ps.GrantedCells) - pc.granted.Value())
+		pc.denied.Add(int64(ps.DeniedCells) - pc.denied.Value())
+		pc.throttled.Add(int64(ps.ThrottledCells) - pc.throttled.Value())
+		pc.routed.Add(int64(ps.RoutedPackets) - pc.routed.Value())
+		pc.dropped.Add(int64(ps.DroppedQueue) - pc.dropped.Value())
+		pc.delivered.Add(int64(ps.DeliveredPackets) - pc.delivered.Value())
+		pc.bits.Add(int64(ps.DeliveredBits) - pc.bits.Value())
+		pc.members.Set(float64(ps.Members))
+		pc.tracers.Set(float64(ps.Tracers))
 	}
 	for b, g := range t.queueDepth {
 		g.Set(float64(t.eng.QueueDepth(b)))

@@ -7,6 +7,7 @@ import (
 	"encoding/json"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/switchfab"
 	"repro/internal/telemetry"
@@ -260,6 +261,105 @@ func TestObserverFrameStatsSafeCopy(t *testing.T) {
 		}
 		if rec.Frame != evFrames[i] {
 			t.Fatalf("log record %d frame %d, observer saw %d", i, rec.Frame, evFrames[i])
+		}
+	}
+}
+
+// TestTelemetryIntervalOnlyFlush pins the FlushEvery=0 interval-only
+// mode: the frame-count trigger is off (no silent default-10
+// coercion), and the wall-clock trigger alone paces the stream. An
+// always-elapsed interval flushes every frame; a never-elapsed one
+// leaves only the Close tail line.
+func TestTelemetryIntervalOnlyFlush(t *testing.T) {
+	run := func(cfg TelemetryConfig) (int, *traffic.Report) {
+		spec, err := Preset("clean")
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec.Frames = 6
+		var buf bytes.Buffer
+		tel := NewTelemetryObserver(&buf, cfg)
+		sess, err := NewSession(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tel.Attach(sess)
+		rep, err := sess.Run(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tel.Close(); err != nil {
+			t.Fatal(err)
+		}
+		return len(decodeTelemetry(t, buf.String())), rep
+	}
+	if n, rep := run(TelemetryConfig{FlushEvery: 0, FlushInterval: 1}); n != rep.Frames {
+		t.Fatalf("always-elapsed interval: %d lines over %d frames", n, rep.Frames)
+	}
+	if n, _ := run(TelemetryConfig{FlushEvery: 0, FlushInterval: time.Hour}); n != 1 {
+		t.Fatalf("never-elapsed interval: %d lines, want just the Close tail", n)
+	}
+	// Neither trigger configured still defaults to every 10 frames.
+	if n, _ := run(TelemetryConfig{}); n != 1 {
+		t.Fatalf("default cadence: %d lines over 6 frames, want the Close tail only", n)
+	}
+}
+
+// TestTelemetryPopulationCounters runs the megapop preset with an
+// attached feed and pins the pop.<name>.* schema: the final flush's
+// population counters equal the end-of-run report rows, and the
+// member/tracer split rides as gauges.
+func TestTelemetryPopulationCounters(t *testing.T) {
+	spec, err := Preset("megapop")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Frames = 6
+	var buf bytes.Buffer
+	tel := NewTelemetryObserver(&buf, TelemetryConfig{FlushEvery: 2, Source: "test"})
+	sess, err := NewSession(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tel.Attach(sess)
+	rep, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+	lines := decodeTelemetry(t, buf.String())
+	if len(lines) == 0 {
+		t.Fatal("no flush lines")
+	}
+	final := lines[len(lines)-1]
+	if len(rep.PerPopulation) == 0 {
+		t.Fatal("megapop report has no population rows")
+	}
+	for _, ps := range rep.PerPopulation {
+		p := "pop." + ps.Name + "."
+		for key, want := range map[string]int{
+			p + "offered_cells":     ps.OfferedCells,
+			p + "granted_cells":     ps.GrantedCells,
+			p + "denied_cells":      ps.DeniedCells,
+			p + "throttled_cells":   ps.ThrottledCells,
+			p + "routed_packets":    ps.RoutedPackets,
+			p + "dropped_queue":     ps.DroppedQueue,
+			p + "delivered_packets": ps.DeliveredPackets,
+			p + "delivered_bits":    ps.DeliveredBits,
+		} {
+			if got, ok := final.Counters[key]; !ok || got != int64(want) {
+				t.Errorf("final %s = %d (present %v), report says %d", key, got, ok, want)
+			}
+		}
+		for key, want := range map[string]float64{
+			p + "members": float64(ps.Members),
+			p + "tracers": float64(ps.Tracers),
+		} {
+			if got, ok := final.Gauges[key]; !ok || got != want {
+				t.Errorf("final %s = %v (present %v), want %v", key, got, ok, want)
+			}
 		}
 	}
 }

@@ -1,0 +1,282 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/switchfab"
+)
+
+// AggregateModel is the population-level form of a Model: one arrival
+// process standing in for an entire population class. A population of
+// Count members is indexed 0..Count-1; BlockDemand sums the per-frame
+// demand of a contiguous run of member indices in one call, so a beam's
+// share of a 10^5-member population costs the same as one terminal's.
+// Member instantiates the per-terminal form of one member — the tracer
+// path — and the two views must agree: for the analytic models
+// BlockDemand(f, lo, hi) equals the sum of Member(j).Demand(f) over
+// [lo, hi) exactly; for RNG-driven models it matches in mean (the
+// engine subtracts the tracers' own draws from the block total, so an
+// everyone-traced population contributes no aggregate demand at all and
+// stays bit-identical to the per-terminal engine).
+type AggregateModel interface {
+	Name() string
+	// BlockDemand returns the cells requested at frame f by members
+	// [lo, hi) together. Implementations must be deterministic under
+	// their configuration (and seed) and O(1)-ish in hi-lo.
+	BlockDemand(frame, lo, hi int) int
+	// Member returns the per-terminal model of member j, the model a
+	// tracer terminal for that member runs.
+	Member(j int) Model
+}
+
+// MemberBeam maps population member j of count onto one of nb beam
+// slots by contiguous blocks (member 0..count/nb-ish on slot 0, and so
+// on). The block partition keeps each beam's member-index range
+// contiguous, which is what lets BlockDemand stay O(1) per beam. The
+// scenario layer and the engine must agree on this mapping, so it lives
+// here.
+func MemberBeam(member, count, nb int) int {
+	if count <= 0 || nb <= 0 {
+		return 0
+	}
+	return member * nb / count
+}
+
+// memberBlock returns the member-index range [lo, hi) homed on beam
+// slot bi — the inverse of MemberBeam.
+func memberBlock(bi, count, nb int) (lo, hi int) {
+	lo = (bi*count + nb - 1) / nb
+	hi = ((bi+1)*count + nb - 1) / nb
+	return lo, hi
+}
+
+// AggregateCBR is the population form of CBR: every member requests
+// Cells cells every frame.
+type AggregateCBR struct{ Cells int }
+
+// Name implements AggregateModel.
+func (m AggregateCBR) Name() string { return fmt.Sprintf("agg-cbr-%d", m.Cells) }
+
+// BlockDemand implements AggregateModel.
+func (m AggregateCBR) BlockDemand(_, lo, hi int) int { return (hi - lo) * m.Cells }
+
+// Member implements AggregateModel.
+func (m AggregateCBR) Member(int) Model { return CBR{Cells: m.Cells} }
+
+// AggregateOnOff is the population form of OnOff with members spread
+// uniformly over the cycle: member j runs at phase Phase+j, the
+// convention the scenario population builders established, so the
+// block total is a closed-form count of on-phase members rather than a
+// per-member loop.
+type AggregateOnOff struct {
+	On, Off int // period lengths in frames
+	Cells   int // demand during a member's on-period
+	Phase   int // phase of member 0; member j runs at Phase+j
+}
+
+// Name implements AggregateModel.
+func (m AggregateOnOff) Name() string {
+	return fmt.Sprintf("agg-onoff-%d/%d-%d", m.On, m.Off, m.Cells)
+}
+
+// onCountBelow returns the number of y in [0, x) with y mod period in
+// the on-window — the prefix-sum form of the on/off square wave.
+func (m AggregateOnOff) onCountBelow(x int) int {
+	period := m.On + m.Off
+	return (x/period)*m.On + min(x%period, m.On)
+}
+
+// BlockDemand implements AggregateModel: members [lo, hi) occupy the
+// consecutive phase window [frame+Phase+lo, frame+Phase+hi), so the
+// on-phase member count is a prefix-sum difference — O(1) whatever the
+// block size. Negative absolute positions (a negative phase beyond the
+// frame count) replicate OnOff.Demand's truncated-mod semantics
+// exactly: (x % period) < On with Go's %, which for x < 0 yields a
+// residue in (-period, 0] — on whenever On > 0.
+func (m AggregateOnOff) BlockDemand(frame, lo, hi int) int {
+	period := m.On + m.Off
+	if period <= 0 || hi <= lo {
+		return 0
+	}
+	s, e := frame+m.Phase+lo, frame+m.Phase+hi
+	on := 0
+	if s < 0 {
+		stop := min(e, 0)
+		n := stop - s
+		if m.On > 0 {
+			on += n
+		} else {
+			// On == 0: a negative position is on only when its truncated
+			// residue is strictly negative, i.e. it is not a multiple of
+			// the period.
+			on += n - (floorDiv(stop-1, period) - floorDiv(s-1, period))
+		}
+		s = stop
+	}
+	if e > s {
+		on += m.onCountBelow(e) - m.onCountBelow(s)
+	}
+	return on * m.Cells
+}
+
+// floorDiv is floor(a/b) for b > 0, exact for negative a (Go's / is
+// truncated).
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+// Member implements AggregateModel.
+func (m AggregateOnOff) Member(j int) Model {
+	return OnOff{On: m.On, Off: m.Off, Cells: m.Cells, Phase: m.Phase + j}
+}
+
+// AggregateHotspot is the population form of Hotspot: all members surge
+// together (the flash-crowd shape), so the block total is just the
+// member count times the instantaneous per-member rate.
+type AggregateHotspot struct {
+	Base   int // cells per member per frame outside the surge
+	Surge  int // cells per member per frame during the surge
+	Period int // frames between surge starts
+	Width  int // surge length in frames
+}
+
+// Name implements AggregateModel.
+func (m AggregateHotspot) Name() string { return fmt.Sprintf("agg-hotspot-%d/%d", m.Base, m.Surge) }
+
+// BlockDemand implements AggregateModel.
+func (m AggregateHotspot) BlockDemand(frame, lo, hi int) int {
+	rate := m.Base
+	if m.Period > 0 && frame%m.Period < m.Width {
+		rate = m.Surge
+	}
+	return (hi - lo) * rate
+}
+
+// Member implements AggregateModel.
+func (m AggregateHotspot) Member(int) Model {
+	return Hotspot{Base: m.Base, Surge: m.Surge, Period: m.Period, Width: m.Width}
+}
+
+// AggregateBernoulli is the RNG-driven aggregate: each member
+// independently requests Cells cells with probability P each frame.
+// Member draws come from a counter-based hash of (Seed, member, frame)
+// — one logical RNG for the whole population, deterministic under the
+// seed with no per-member generator state. Small blocks sum the member
+// draws exactly; large blocks draw the binomial total through its
+// normal approximation (mean n·P·Cells, variance n·P(1−P)·Cells²) from
+// a hash of (Seed, frame, lo, hi), so per-beam demand stays O(1) in the
+// member count. The two regimes agree in mean and variance, which is
+// the contract the aggregate-statistics tests pin.
+type AggregateBernoulli struct {
+	P     float64 // per-member per-frame request probability
+	Cells int     // cells per request
+	Seed  int64
+}
+
+// exactBlockMax bounds the block size summed member by member; beyond
+// it the normal approximation takes over (a binomial at n > 64 with the
+// P values populations use is comfortably normal).
+const exactBlockMax = 64
+
+// Name implements AggregateModel.
+func (m AggregateBernoulli) Name() string { return fmt.Sprintf("agg-bern-%.2f-%d", m.P, m.Cells) }
+
+// splitmix64 is the counter-based hash behind the Bernoulli draws — the
+// standard SplitMix64 finalizer, full-period and well distributed.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4b9fe
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// hashUnit reduces a hash to a uniform float64 in [0, 1).
+func hashUnit(x uint64) float64 {
+	return float64(splitmix64(x)>>11) / (1 << 53)
+}
+
+// memberDraw is one member's Bernoulli draw at one frame.
+func (m AggregateBernoulli) memberDraw(frame, j int) int {
+	x := uint64(m.Seed) ^ uint64(j)*0x9e3779b97f4a7c15 ^ uint64(frame)*0xd1b54a32d192ed03
+	if hashUnit(x) < m.P {
+		return m.Cells
+	}
+	return 0
+}
+
+// BlockDemand implements AggregateModel.
+func (m AggregateBernoulli) BlockDemand(frame, lo, hi int) int {
+	n := hi - lo
+	if n <= 0 || m.P <= 0 || m.Cells <= 0 {
+		return 0
+	}
+	if n <= exactBlockMax {
+		d := 0
+		for j := lo; j < hi; j++ {
+			d += m.memberDraw(frame, j)
+		}
+		return d
+	}
+	// Box–Muller from two counter-based uniforms keyed on the block, so
+	// the draw is a pure function of (seed, frame, lo, hi).
+	base := uint64(m.Seed) ^ uint64(frame)*0xd1b54a32d192ed03 ^ uint64(lo)*0x9e3779b97f4a7c15 ^ uint64(hi)*0xbf58476d1ce4b9fb
+	u1 := hashUnit(base)
+	u2 := hashUnit(base + 1)
+	if u1 < 1e-12 {
+		u1 = 1e-12
+	}
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	mean := float64(n) * m.P
+	sd := math.Sqrt(float64(n) * m.P * (1 - m.P))
+	requests := int(math.Round(mean + sd*z))
+	if requests < 0 {
+		requests = 0
+	}
+	if requests > n {
+		requests = n
+	}
+	return requests * m.Cells
+}
+
+// Member implements AggregateModel.
+func (m AggregateBernoulli) Member(j int) Model { return bernoulliMember{m: m, j: j} }
+
+// bernoulliMember is the per-terminal (tracer) view of one
+// AggregateBernoulli member: the same counter-based draw the aggregate
+// uses, bound to member index j.
+type bernoulliMember struct {
+	m AggregateBernoulli
+	j int
+}
+
+// Name implements Model.
+func (b bernoulliMember) Name() string { return fmt.Sprintf("bern-%.2f-%d", b.m.P, b.m.Cells) }
+
+// Demand implements Model.
+func (b bernoulliMember) Demand(frame int) int { return b.m.memberDraw(frame, b.j) }
+
+// Population is one aggregate population class: Count members homed on
+// Beams by contiguous blocks (MemberBeam), driven by one AggregateModel
+// instead of Count individual terminals. A sampled subset of members —
+// the tracers — keeps the full per-terminal path; their member indices
+// are listed here (sorted ascending) so the engine can subtract their
+// individual demand from the aggregate block totals, while the tracer
+// Terminals themselves ride the engine's ordinary terminal list (in
+// whatever join order the caller admits them).
+type Population struct {
+	Name  string
+	Class switchfab.Class
+	Beams []int
+	Count int
+	Model AggregateModel
+	// TracerMembers are the member indices modeled as full terminals,
+	// sorted ascending, each in [0, Count). Their Member models must
+	// match the admitted tracer terminals' models, or the population
+	// total drifts from Count independent sources.
+	TracerMembers []int
+}

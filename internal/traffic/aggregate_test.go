@@ -1,0 +1,336 @@
+package traffic
+
+import (
+	"fmt"
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestMemberBeamPartition pins the contiguous block partition: every
+// member lands on exactly one beam slot, memberBlock is the exact
+// inverse image of MemberBeam, and the blocks tile [0, count).
+func TestMemberBeamPartition(t *testing.T) {
+	for _, tc := range []struct{ count, nb int }{
+		{1, 1}, {5, 2}, {7, 3}, {100, 3}, {3, 5}, {100000, 6},
+	} {
+		covered := 0
+		for bi := 0; bi < tc.nb; bi++ {
+			lo, hi := memberBlock(bi, tc.count, tc.nb)
+			if lo != covered {
+				t.Fatalf("count=%d nb=%d: block %d starts at %d, want %d", tc.count, tc.nb, bi, lo, covered)
+			}
+			for j := lo; j < hi; j++ {
+				if got := MemberBeam(j, tc.count, tc.nb); got != bi {
+					t.Fatalf("count=%d nb=%d: member %d on beam %d, block says %d", tc.count, tc.nb, j, got, bi)
+				}
+			}
+			covered = hi
+		}
+		if covered != tc.count {
+			t.Fatalf("count=%d nb=%d: blocks cover %d members", tc.count, tc.nb, covered)
+		}
+	}
+}
+
+// TestAggregateBlockDemandMatchesMembers is the two-tier exactness
+// contract for the analytic models: BlockDemand over any member range
+// equals the sum of the per-member tracer models' Demand, at every
+// frame — the identity that makes tracer subtraction exact.
+func TestAggregateBlockDemandMatchesMembers(t *testing.T) {
+	models := []AggregateModel{
+		AggregateCBR{Cells: 2},
+		AggregateOnOff{On: 3, Off: 2, Cells: 2},
+		AggregateOnOff{On: 1, Off: 4, Cells: 1, Phase: 7},
+		AggregateOnOff{On: 2, Off: 3, Cells: 3, Phase: -11},
+		AggregateHotspot{Base: 1, Surge: 5, Period: 8, Width: 2},
+	}
+	blocks := [][2]int{{0, 1}, {0, 17}, {3, 9}, {5, 40}, {12, 13}}
+	for _, m := range models {
+		for _, blk := range blocks {
+			lo, hi := blk[0], blk[1]
+			for f := 0; f < 25; f++ {
+				want := 0
+				for j := lo; j < hi; j++ {
+					want += m.Member(j).Demand(f)
+				}
+				if got := m.BlockDemand(f, lo, hi); got != want {
+					t.Fatalf("%s frame %d block [%d,%d): BlockDemand %d, member sum %d", m.Name(), f, lo, hi, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestAggregateBernoulliExactBlocks checks the small-block regime sums
+// the very draws the tracer models make, so subtraction stays exact up
+// to exactBlockMax members.
+func TestAggregateBernoulliExactBlocks(t *testing.T) {
+	m := AggregateBernoulli{P: 0.3, Cells: 2, Seed: 99}
+	for f := 0; f < 40; f++ {
+		want := 0
+		for j := 5; j < 5+exactBlockMax; j++ {
+			want += m.Member(j).Demand(f)
+		}
+		if got := m.BlockDemand(f, 5, 5+exactBlockMax); got != want {
+			t.Fatalf("frame %d: exact block %d, member sum %d", f, got, want)
+		}
+	}
+}
+
+// TestAggregateBernoulliStatistics is the satellite-4 statistics
+// contract: across seeds, the per-frame demand of the aggregate (in
+// its large-block normal regime) matches the mean of N independently
+// stepped per-terminal members, with variance in the binomial
+// ballpark. Tolerances are generous (5 sigma of the mean estimator)
+// so the test is seed-robust while still catching a broken scale.
+func TestAggregateBernoulliStatistics(t *testing.T) {
+	const (
+		n      = 2000 // members: far beyond exactBlockMax
+		frames = 400
+		p      = 0.05
+		cells  = 1
+	)
+	for _, seed := range []int64{1, 42, 777} {
+		m := AggregateBernoulli{P: p, Cells: cells, Seed: seed}
+
+		// Aggregate (normal-approximation) path.
+		aggSum, aggSq := 0.0, 0.0
+		for f := 0; f < frames; f++ {
+			d := float64(m.BlockDemand(f, 0, n))
+			aggSum += d
+			aggSq += d * d
+		}
+		aggMean := aggSum / frames
+		aggVar := aggSq/frames - aggMean*aggMean
+
+		// N independently stepped per-terminal members.
+		memSum := 0.0
+		for f := 0; f < frames; f++ {
+			d := 0
+			for j := 0; j < n; j++ {
+				d += m.Member(j).Demand(f)
+			}
+			memSum += float64(d)
+		}
+		memMean := memSum / frames
+
+		wantMean := float64(n) * p * cells
+		wantVar := float64(n) * p * (1 - p) * cells * cells
+		// 5 sigma of the frame-averaged mean estimator.
+		tol := 5 * math.Sqrt(wantVar/frames)
+		if math.Abs(aggMean-wantMean) > tol {
+			t.Fatalf("seed %d: aggregate mean %.1f, want %.1f +/- %.1f", seed, aggMean, wantMean, tol)
+		}
+		if math.Abs(memMean-wantMean) > tol {
+			t.Fatalf("seed %d: member mean %.1f, want %.1f +/- %.1f", seed, memMean, wantMean, tol)
+		}
+		if aggVar < wantVar/3 || aggVar > wantVar*3 {
+			t.Fatalf("seed %d: aggregate variance %.1f outside [%.1f, %.1f]", seed, aggVar, wantVar/3, wantVar*3)
+		}
+	}
+}
+
+// popTerms builds the tracer terminal list for a population the way the
+// scenario layer does (all members traced when n == count).
+func popTerms(name string, pop Population) []Terminal {
+	nb := len(pop.Beams)
+	out := make([]Terminal, len(pop.TracerMembers))
+	for i, j := range pop.TracerMembers {
+		out[i] = Terminal{
+			ID:    fmt.Sprintf("%s.%d", name, j),
+			Beam:  pop.Beams[MemberBeam(j, pop.Count, nb)],
+			Class: pop.Class,
+			Model: pop.Model.Member(j),
+		}
+	}
+	return out
+}
+
+// TestPopulationEveryoneTracedBitIdentical is the refactor's safety
+// invariant at the engine level: a population with Count == Tracers
+// must reproduce the plain per-terminal engine bit for bit — same
+// grants, same bursts, same delivered bits, same latency — because the
+// aggregate remainder is empty and contributes nothing, not even RNG
+// draws.
+func TestPopulationEveryoneTracedBitIdentical(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Frame = smallFrame(2, 2)
+	cfg.Seed = 9
+
+	mkPop := func(name string, count int, m AggregateModel) Population {
+		members := make([]int, count)
+		for i := range members {
+			members[i] = i
+		}
+		return Population{Name: name, Beams: []int{0, 1}, Count: count, Model: m, TracerMembers: members}
+	}
+	pops := []Population{
+		mkPop("cbr", 2, AggregateCBR{Cells: 1}),
+		mkPop("oo", 3, AggregateOnOff{On: 2, Off: 3, Cells: 1, Phase: 1}),
+	}
+	var terms []Terminal
+	for _, p := range pops {
+		terms = append(terms, popTerms(p.Name, p)...)
+	}
+
+	plain := newEngine(t, cfg, terms, "uncoded")
+	if err := plain.RunFrames(12); err != nil {
+		t.Fatal(err)
+	}
+	twoTier, err := NewPopulations(bootPayload(t, 2, "uncoded"), cfg, terms, pops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := twoTier.RunFrames(12); err != nil {
+		t.Fatal(err)
+	}
+
+	a, b := plain.Report(), twoTier.Report()
+	for _, ps := range b.PerPopulation {
+		if ps.Tracers != ps.Members {
+			t.Fatalf("population %s: %d tracers of %d members, want all traced", ps.Name, ps.Tracers, ps.Members)
+		}
+		if ps.OfferedCells != 0 || ps.GrantedCells != 0 || ps.RoutedPackets != 0 || ps.DeliveredPackets != 0 {
+			t.Fatalf("population %s: everyone traced but aggregate remainder saw traffic: %+v", ps.Name, ps)
+		}
+	}
+	// Timing aside, the reports must agree exactly once the (all-zero)
+	// population rows are set aside.
+	a.WallSeconds, b.WallSeconds = 0, 0
+	b.PerPopulation = nil
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("everyone-traced run diverged from the plain engine:\nplain: %+v\ntwo-tier: %+v", a, b)
+	}
+}
+
+// TestPopulationAggregateAccounting runs a mostly-untraced population
+// end to end and checks the admission/delivery ledger balances: every
+// granted aggregate cell becomes exactly one fabric packet (routed or
+// tail-dropped), delivery never exceeds routing, and the whole-engine
+// counters include the population's share.
+func TestPopulationAggregateAccounting(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Frame = smallFrame(2, 2)
+	cfg.Seed = 3
+	pop := Population{
+		Name:          "bulk",
+		Beams:         []int{0, 1},
+		Count:         40,
+		Model:         AggregateCBR{Cells: 1},
+		TracerMembers: []int{0, 20},
+	}
+	terms := popTerms("bulk", pop)
+	e, err := NewPopulations(bootPayload(t, 2, "uncoded"), cfg, terms, []Population{pop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RunFrames(10); err != nil {
+		t.Fatal(err)
+	}
+	r := e.Report()
+	if len(r.PerPopulation) != 1 {
+		t.Fatalf("%d population rows", len(r.PerPopulation))
+	}
+	ps := r.PerPopulation[0]
+	if ps.Members != 40 || ps.Tracers != 2 {
+		t.Fatalf("member split %d/%d", ps.Members, ps.Tracers)
+	}
+	// 38 untraced members at 1 cell/frame over 10 frames.
+	if ps.OfferedCells != 38*10 {
+		t.Fatalf("offered %d, want %d", ps.OfferedCells, 38*10)
+	}
+	if ps.GrantedCells == 0 {
+		t.Fatal("aggregate never granted")
+	}
+	if ps.GrantedCells+ps.DeniedCells+ps.ThrottledCells != ps.OfferedCells {
+		t.Fatalf("admission ledger: %d granted + %d denied + %d throttled != %d offered",
+			ps.GrantedCells, ps.DeniedCells, ps.ThrottledCells, ps.OfferedCells)
+	}
+	if ps.RoutedPackets+ps.DroppedQueue != ps.GrantedCells {
+		t.Fatalf("fabric ledger: %d routed + %d dropped != %d granted", ps.RoutedPackets, ps.DroppedQueue, ps.GrantedCells)
+	}
+	if ps.DeliveredPackets == 0 || ps.DeliveredPackets > ps.RoutedPackets {
+		t.Fatalf("delivered %d of %d routed", ps.DeliveredPackets, ps.RoutedPackets)
+	}
+	if ps.DeliveredBits == 0 || ps.DeliveredBits%ps.DeliveredPackets != 0 {
+		t.Fatalf("delivered %d bits over %d packets", ps.DeliveredBits, ps.DeliveredPackets)
+	}
+	// Population traffic is inside the engine totals, not beside them.
+	if r.GrantedCells < ps.GrantedCells || r.DeliveredPackets < ps.DeliveredPackets {
+		t.Fatalf("engine totals below the population's share: %+v vs %+v", r, ps)
+	}
+}
+
+// TestPopulationDeterministic: two engines over the same populations
+// and seed agree on every metric, including the RNG-driven aggregate.
+func TestPopulationDeterministic(t *testing.T) {
+	mk := func() *Report {
+		cfg := DefaultConfig()
+		cfg.Frame = smallFrame(2, 2)
+		cfg.Seed = 17
+		pop := Population{
+			Name:          "rng",
+			Beams:         []int{0, 1},
+			Count:         500,
+			Model:         AggregateBernoulli{P: 0.01, Cells: 1, Seed: 4},
+			TracerMembers: []int{0, 250},
+		}
+		terms := popTerms("rng", pop)
+		e, err := NewPopulations(bootPayload(t, 2, "uncoded"), cfg, terms, []Population{pop})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.RunFrames(15); err != nil {
+			t.Fatal(err)
+		}
+		r := e.Report()
+		r.WallSeconds = 0
+		return r
+	}
+	if a, b := mk(), mk(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("population runs diverged:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestJoinStorm is the satellite-1 regression: a join/leave storm must
+// stay fast (the ID index map replaced the O(n) scans) and correct —
+// duplicates rejected, lookups exact, leaves final.
+func TestJoinStorm(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Frame = smallFrame(2, 2)
+	e := newEngine(t, cfg, []Terminal{{ID: "seed", Beam: 0, Model: CBR{Cells: 1}}}, "uncoded")
+	const storm = 2000
+	for i := 0; i < storm; i++ {
+		id := fmt.Sprintf("s%d", i)
+		if err := e.AddTerminal(Terminal{ID: id, Beam: i % 2, Model: OnOff{On: 1, Off: 999, Cells: 1, Phase: i}}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AddTerminal(Terminal{ID: id, Beam: 0, Model: CBR{Cells: 1}}); err == nil {
+			t.Fatalf("duplicate %s accepted", id)
+		}
+	}
+	if got := len(e.Terminals()); got != storm+1 {
+		t.Fatalf("%d terminals after storm", got)
+	}
+	if err := e.SetTerminalChannel(fmt.Sprintf("s%d", storm-1), nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.SetTerminalChannel("nope", nil); err == nil {
+		t.Fatal("lookup invented a terminal")
+	}
+	for i := 0; i < storm; i++ {
+		if err := e.RemoveTerminal(fmt.Sprintf("s%d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e.RemoveTerminal("s0"); err == nil {
+		t.Fatal("double leave accepted")
+	}
+	if got := len(e.Terminals()); got != 1 {
+		t.Fatalf("%d terminals after drain", got)
+	}
+	if err := e.RunFrames(2); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -140,9 +140,18 @@ type Engine struct {
 	// terms is the population in join order, departed terminals
 	// included (active=false) so their statistics survive a mid-run
 	// leave; rngSeq counts terminals ever admitted so each gets a
-	// stable deterministic seed regardless of later joins/leaves.
+	// stable deterministic seed regardless of later joins/leaves. byID
+	// indexes the active terminals, so admission checks and event
+	// lookups stay O(1) through join/leave storms.
 	terms  []*termState
+	byID   map[string]*termState
 	rngSeq int64
+
+	// pops are the aggregate populations (two-tier model): one popState
+	// per Population, with per-(population, beam) block state. beamAgg
+	// groups the blocks by physical beam for the per-beam routing tasks.
+	pops    []*popState
+	beamAgg [][]*popBeam
 
 	frame int
 
@@ -161,17 +170,24 @@ type Engine struct {
 	asgs    []modem.SlotAssignment
 	cells   []uplinkCell
 	infoBuf []byte // flat backing for the frame's per-cell info bits
+	aggBits []byte // shared k-bit payload stand-in for aggregate packets
 
-	// fill is the state the preallocated emit closure reads while the
-	// downlink scheduler pops packets into the transmit grid.
+	// fill is the frame-scoped state every beam's fill task reads while
+	// the downlink scheduler pops packets into the transmit grid; it is
+	// written once per frame before the tasks fan out and read-only
+	// underneath them.
 	fill struct {
 		frame  int
 		codec  fec.Codec
 		budget int
-		beam   int
-		slot   int
 	}
-	emitFn func(switchfab.Packet) bool
+	// beams is the per-beam downlink fill state (slot cursor, sent
+	// cells, per-class delivery deltas, preallocated emit closure): each
+	// beam's schedule/fill runs as its own pipeline task touching only
+	// its entry, and the deltas merge into the run totals in beam order
+	// after the fan-in — bit-identical to the old sequential fill.
+	beams      []beamState
+	aggPending bool // a dama pass granted aggregate cells this frame
 
 	met    Report
 	cls    [switchfab.NumClasses]clsAccum
@@ -210,10 +226,65 @@ type syncAccum struct {
 	uwMin      float64
 }
 
+// beamState is one downlink beam's fill-stage state. During the
+// schedule stage it is owned exclusively by that beam's task: the task
+// holds the fabric shard lock for its beam, writes only its own grid
+// row, sent slice and class accumulators, and the per-frame deltas
+// merge sequentially afterwards.
+type beamState struct {
+	beam int
+	slot int
+	sent []sentCell
+	cls  [switchfab.NumClasses]clsAccum
+	emit func(switchfab.Packet) bool
+}
+
+// popState is one aggregate population's live engine state: the
+// definition, its per-beam member blocks, and the request-side
+// accounting (written sequentially in dama).
+type popState struct {
+	def   Population
+	beams []popBeam
+	stat  PopulationStats
+}
+
+// popBeam is one population's member block on one beam. granted hands a
+// frame's admitted cells from the sequential dama pass to the per-beam
+// routing task; routed/dropped/delivered accounting is cumulative and
+// written only by that beam's task (routing and fill), so the shard
+// ownership rule holds without atomics.
+type popBeam struct {
+	ps           *popState
+	beam         int
+	lo, hi       int // member block [lo, hi)
+	untraced     int // members in the block not modeled as tracers
+	tracerModels []Model
+
+	granted int // cells admitted this frame, consumed by routing
+
+	routed    int
+	dropped   int
+	delivered int
+	bits      int
+	latSum    int
+	latMax    int
+}
+
 // New builds an engine around a booted TDMA payload. The terminal list
 // is the population; order is part of the deterministic contract (DAMA
 // requests are issued in slice order every frame).
 func New(pl *payload.Payload, cfg Config, terminals []Terminal) (*Engine, error) {
+	return NewPopulations(pl, cfg, terminals, nil)
+}
+
+// NewPopulations builds an engine over the two-tier population model:
+// terminals are full per-terminal sources (tracers included, in the
+// join order the caller chose), pops are aggregate populations whose
+// untraced remainders request capacity as per-beam block demand after
+// the terminal loop each frame. Either list may be empty, not both.
+// Frame cost and memory scale with populations + tracers + beams, never
+// with Population.Count.
+func NewPopulations(pl *payload.Payload, cfg Config, terminals []Terminal, pops []Population) (*Engine, error) {
 	if pl.Mode() != payload.ModeTDMA {
 		return nil, errors.New("traffic: engine requires the TDMA waveform")
 	}
@@ -226,7 +297,7 @@ func New(pl *payload.Payload, cfg Config, terminals []Terminal) (*Engine, error)
 	if cfg.QueueDepth < 1 {
 		return nil, errors.New("traffic: queue depth must be at least 1")
 	}
-	if len(terminals) == 0 {
+	if len(terminals) == 0 && len(pops) == 0 {
 		return nil, errors.New("traffic: empty terminal population")
 	}
 	plan := cfg.Plan
@@ -250,16 +321,28 @@ func New(pl *payload.Payload, cfg Config, terminals []Terminal) (*Engine, error)
 		cfg:     cfg,
 		grid:    make([][][]byte, cfg.Frame.Carriers),
 		room:    make([][switchfab.NumClasses]int, cfg.Frame.Carriers),
+		byID:    make(map[string]*termState),
+		beamAgg: make([][]*popBeam, cfg.Frame.Carriers),
+		beams:   make([]beamState, cfg.Frame.Carriers),
 	}
 	// The engine is the fabric's exclusive driver for the run: adopting
 	// it clears any previous driver's queues and counters and installs
 	// the per-(beam, class) bound (see the switchfab ownership rule).
 	e.fab.Adopt(cfg.QueueDepth)
-	e.emitFn = e.emitPacket
+	for b := range e.beams {
+		bs := &e.beams[b]
+		bs.beam = b
+		// One closure per beam, allocated once: the per-frame fill path
+		// stays allocation-free however many beams run concurrently.
+		bs.emit = func(p switchfab.Packet) bool { return e.emitPacket(bs, p) }
+	}
 	for _, t := range terminals {
 		if err := e.admit(t); err != nil {
 			return nil, err
 		}
+	}
+	if err := e.adoptPopulations(pops); err != nil {
+		return nil, err
 	}
 	e.resolveSyncConfig()
 	for c := range e.grid {
@@ -287,22 +370,88 @@ func (e *Engine) admit(t Terminal) error {
 	if t.ID == "" || t.Model == nil {
 		return errors.New("traffic: terminal needs an ID and a model")
 	}
-	for _, ts := range e.terms {
-		if ts.active && ts.term.ID == t.ID {
-			return fmt.Errorf("traffic: duplicate terminal %q", t.ID)
-		}
+	if _, dup := e.byID[t.ID]; dup {
+		return fmt.Errorf("traffic: duplicate terminal %q", t.ID)
 	}
 	if t.Beam < 0 || t.Beam >= e.cfg.Frame.Carriers {
 		return fmt.Errorf("traffic: terminal %q beam %d outside the %d-beam downlink", t.ID, t.Beam, e.cfg.Frame.Carriers)
 	}
-	e.terms = append(e.terms, &termState{
+	ts := &termState{
 		term:      t,
 		rng:       rand.New(rand.NewSource(e.cfg.Seed + e.rngSeq*7919)),
 		stat:      TerminalStats{ID: t.ID, Model: t.Model.Name()},
 		active:    true,
 		profSince: e.frame,
-	})
+	}
+	e.terms = append(e.terms, ts)
+	e.byID[t.ID] = ts
 	e.rngSeq++
+	return nil
+}
+
+// adoptPopulations validates the aggregate populations and builds their
+// per-beam block state (construction-time only; populations are fixed
+// for the run, unlike terminals, which join and leave freely).
+func (e *Engine) adoptPopulations(pops []Population) error {
+	names := make(map[string]bool, len(pops))
+	for _, p := range pops {
+		if p.Name == "" || p.Model == nil {
+			return errors.New("traffic: population needs a name and an aggregate model")
+		}
+		if names[p.Name] {
+			return fmt.Errorf("traffic: duplicate population %q", p.Name)
+		}
+		names[p.Name] = true
+		if p.Count < 1 {
+			return fmt.Errorf("traffic: population %q has %d members", p.Name, p.Count)
+		}
+		if len(p.Beams) == 0 {
+			return fmt.Errorf("traffic: population %q has no beams", p.Name)
+		}
+		for _, b := range p.Beams {
+			if b < 0 || b >= e.cfg.Frame.Carriers {
+				return fmt.Errorf("traffic: population %q beam %d outside the %d-beam downlink", p.Name, b, e.cfg.Frame.Carriers)
+			}
+		}
+		if len(p.TracerMembers) > p.Count {
+			return fmt.Errorf("traffic: population %q traces %d of %d members", p.Name, len(p.TracerMembers), p.Count)
+		}
+		for i, m := range p.TracerMembers {
+			if m < 0 || m >= p.Count {
+				return fmt.Errorf("traffic: population %q tracer member %d outside [0, %d)", p.Name, m, p.Count)
+			}
+			if i > 0 && m <= p.TracerMembers[i-1] {
+				return fmt.Errorf("traffic: population %q tracer members not sorted ascending", p.Name)
+			}
+		}
+		ps := &popState{
+			def: p,
+			stat: PopulationStats{
+				Name:    p.Name,
+				Model:   p.Model.Name(),
+				Class:   p.Class.String(),
+				Members: p.Count,
+				Tracers: len(p.TracerMembers),
+			},
+		}
+		nb := len(p.Beams)
+		ps.beams = make([]popBeam, nb)
+		ti := 0
+		for bi := 0; bi < nb; bi++ {
+			lo, hi := memberBlock(bi, p.Count, nb)
+			pb := &ps.beams[bi]
+			pb.ps = ps
+			pb.beam = p.Beams[bi]
+			pb.lo, pb.hi = lo, hi
+			for ti < len(p.TracerMembers) && p.TracerMembers[ti] < hi {
+				pb.tracerModels = append(pb.tracerModels, p.Model.Member(p.TracerMembers[ti]))
+				ti++
+			}
+			pb.untraced = (hi - lo) - len(pb.tracerModels)
+			e.beamAgg[pb.beam] = append(e.beamAgg[pb.beam], pb)
+		}
+		e.pops = append(e.pops, ps)
+	}
 	return nil
 }
 
@@ -365,6 +514,7 @@ func (e *Engine) RemoveTerminal(id string) error {
 		return err
 	}
 	ts.active = false
+	delete(e.byID, id)
 	e.sched.Release(id)
 	e.resolveSyncConfig()
 	return nil
@@ -434,12 +584,11 @@ func (e *Engine) SetTerminalClass(id string, c switchfab.Class) error {
 	return nil
 }
 
-// lookup finds an active terminal by ID.
+// lookup finds an active terminal by ID through the index map — O(1)
+// whatever the population size or join/leave history.
 func (e *Engine) lookup(id string) (*termState, error) {
-	for _, ts := range e.terms {
-		if ts.active && ts.term.ID == id {
-			return ts, nil
-		}
+	if ts, ok := e.byID[id]; ok {
+		return ts, nil
 	}
 	return nil, fmt.Errorf("traffic: unknown terminal %q", id)
 }
@@ -451,6 +600,16 @@ func (e *Engine) Terminals() []Terminal {
 		if ts.active {
 			out = append(out, ts.term)
 		}
+	}
+	return out
+}
+
+// Populations returns the aggregate population definitions (empty for
+// a purely per-terminal engine).
+func (e *Engine) Populations() []Population {
+	out := make([]Population, len(e.pops))
+	for i, ps := range e.pops {
+		out[i] = ps.def
 	}
 	return out
 }
@@ -522,7 +681,7 @@ func (e *Engine) step() error {
 		t0 = time.Now()
 	}
 	cells := e.dama(f, k)
-	if err := e.uplink(f, codec, cells, t0); err != nil {
+	if err := e.uplink(f, k, codec, cells, t0); err != nil {
 		return err
 	}
 	return e.downlink(f, codec)
@@ -605,7 +764,112 @@ func (e *Engine) dama(f, k int) []uplinkCell {
 		}
 	}
 	e.cells = cells
+	e.damaAggregates(f, k, room)
 	return cells
+}
+
+// damaAggregates runs the aggregate side of admission control after the
+// terminal loop: tracers are pinned measurement channels that request
+// first, the untraced remainder of each population block competes for
+// what is left of the frame. Aggregate cells are flow-level — no slots
+// are physically assigned and no waveform is synthesized — but they
+// consume uplink capacity, respect backpressure room and enter the
+// fabric's bounded queues like any decoded packet, so queue pressure
+// and QoS behaviour at scale are real. With every member traced
+// (untraced == 0 throughout) this pass touches nothing and the engine
+// is bit-identical to the per-terminal path.
+func (e *Engine) damaAggregates(f, k int, room [][switchfab.NumClasses]int) {
+	e.aggPending = false
+	if len(e.pops) == 0 {
+		return
+	}
+	aggAlloc := 0
+	for _, ps := range e.pops {
+		for i := range ps.beams {
+			pb := &ps.beams[i]
+			pb.granted = 0
+			if pb.untraced == 0 {
+				continue
+			}
+			// The block total covers tracer members too; subtracting
+			// their individual draws leaves exactly the untraced
+			// remainder's demand (exact for the analytic models, clamped
+			// for the statistical ones).
+			d := ps.def.Model.BlockDemand(f, pb.lo, pb.hi)
+			for _, tm := range pb.tracerModels {
+				d -= tm.Demand(f)
+			}
+			if d < 0 {
+				d = 0
+			}
+			e.met.OfferedCells += d
+			ps.stat.OfferedCells += d
+			if d == 0 {
+				continue
+			}
+			if room != nil {
+				r := &room[pb.beam][ps.def.Class]
+				if d > *r {
+					t := d - max(*r, 0)
+					e.met.ThrottledCells += t
+					ps.stat.ThrottledCells += t
+					d = *r
+				}
+				if d <= 0 {
+					continue
+				}
+				*r -= d
+			}
+			if free := e.sched.Capacity() - e.sched.Allocated() - aggAlloc; d > free {
+				e.met.DeniedCells += d - free
+				ps.stat.DeniedCells += d - free
+				d = free
+			}
+			if d <= 0 {
+				continue
+			}
+			aggAlloc += d
+			pb.granted = d
+			e.aggPending = true
+			e.met.GrantedCells += d
+			ps.stat.GrantedCells += d
+			ps.stat.UplinkBits += d * k
+		}
+	}
+}
+
+// routeAggregates enqueues the frame's granted aggregate cells into the
+// switching fabric, one task per beam (the fabric shards per beam, so
+// the tasks never contend): each beam routes its populations' grants in
+// population order — deterministic per shard — after the frame's
+// decoded tracer bursts. All aggregate packets of a frame share one
+// zeroed k-bit payload, so delivered-bit accounting is exact at zero
+// per-packet allocation.
+func (e *Engine) routeAggregates(f, k int) {
+	if !e.aggPending {
+		return
+	}
+	e.aggPending = false
+	if len(e.aggBits) != k {
+		e.aggBits = make([]byte, k)
+	}
+	pipeline.ForEach(len(e.beamAgg), func(b int) {
+		for _, pb := range e.beamAgg[b] {
+			n := pb.granted
+			if n == 0 {
+				continue
+			}
+			pb.granted = 0
+			pkt := switchfab.Packet{Bits: e.aggBits, Class: pb.ps.def.Class, Term: pb, Ingress: f}
+			for i := 0; i < n; i++ {
+				if e.fab.RoutePacket(b, pkt) {
+					pb.routed++
+				} else {
+					pb.dropped++
+				}
+			}
+		}
+	})
 }
 
 // uplink modulates the burst time plan into an MF-TDMA frame and passes
@@ -618,11 +882,18 @@ func (e *Engine) dama(f, k int) []uplinkCell {
 // receive stage covers the payload pipeline plus receipt accounting —
 // one observation each per frame, idle frames included, so per-stage
 // sample counts line up with the frame count.
-func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell, t0 time.Time) error {
+func (e *Engine) uplink(f, k int, codec fec.Codec, cells []uplinkCell, t0 time.Time) error {
 	if len(cells) == 0 {
 		if e.stages != nil {
 			e.stages.observe(e.stages.Synthesis, time.Since(t0).Nanoseconds())
-			e.stages.observe(e.stages.Receive, 0)
+		}
+		var tRecv time.Time
+		if e.stages != nil {
+			tRecv = time.Now()
+		}
+		e.routeAggregates(f, k)
+		if e.stages != nil {
+			e.stages.observe(e.stages.Receive, time.Since(tRecv).Nanoseconds())
 		}
 		return nil
 	}
@@ -643,7 +914,6 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell, t0 time.Time
 	}
 	budget := e.pl.BurstFormat().PayloadBits()
 	const uplinkSPS = 4
-	k := len(cells[0].info)
 	e.metas = e.metas[:0]
 	for _, c := range cells {
 		e.metas = append(e.metas, payload.RouteMeta{
@@ -754,6 +1024,9 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell, t0 time.Time
 		// Queue-full tail drops happened inside the fabric, per class;
 		// Metrics folds its counters into the report.
 	}
+	// Aggregate grants arrive behind the frame's decoded bursts: same
+	// ingress frame, deterministic per-shard order.
+	e.routeAggregates(f, k)
 	if e.stages != nil {
 		e.stages.observe(e.stages.Receive, time.Since(tRecv).Nanoseconds())
 	}
@@ -763,22 +1036,55 @@ func (e *Engine) uplink(f int, codec fec.Codec, cells []uplinkCell, t0 time.Time
 // downlink fills each beam's slot budget from the fabric's class
 // queues through the pluggable scheduler — packets pop straight into
 // the transmit grid, no intermediate drain — transmits the wideband
-// frame and, when configured, verifies it on a ground receiver.
+// frame and, when configured, verifies it on a ground receiver. The
+// fill runs as one pipeline task per beam over beam-owned state (the
+// beam's fabric shard, grid row, sent slice and beamState
+// accumulators); the per-frame deltas then merge in beam order, so the
+// totals are bit-identical to the old sequential fill while the stage
+// scales with workers like the fabric's routing side already does.
 func (e *Engine) downlink(f int, codec fec.Codec) error {
 	var t time.Time
 	if e.stages != nil {
 		t = time.Now()
 	}
-	e.sent = e.sent[:0]
 	e.fill.frame = f
 	e.fill.codec = codec
 	e.fill.budget = e.pl.BurstFormat().PayloadBits()
-	for b := 0; b < e.cfg.Frame.Carriers; b++ {
+	pipeline.ForEach(e.cfg.Frame.Carriers, func(b int) {
+		bs := &e.beams[b]
+		bs.slot = 0
+		bs.sent = bs.sent[:0]
+		bs.cls = [switchfab.NumClasses]clsAccum{}
 		for s := range e.grid[b] {
 			e.grid[b][s] = nil
 		}
-		e.fill.beam, e.fill.slot = b, 0
-		e.fab.Schedule(e.dlsched, b, e.cfg.Frame.Slots, e.emitFn)
+		e.fab.Schedule(e.dlsched, b, e.cfg.Frame.Slots, bs.emit)
+	})
+	e.sent = e.sent[:0]
+	for b := range e.beams {
+		bs := &e.beams[b]
+		e.sent = append(e.sent, bs.sent...)
+		for c := range bs.cls {
+			a := bs.cls[c]
+			if a == (clsAccum{}) {
+				continue
+			}
+			cls := &e.cls[c]
+			cls.delivered += a.delivered
+			cls.bits += a.bits
+			cls.reencode += a.reencode
+			cls.latSum += a.latSum
+			if a.latMax > cls.latMax {
+				cls.latMax = a.latMax
+			}
+			e.met.DeliveredPackets += a.delivered
+			e.met.DeliveredBits += a.bits
+			e.met.DroppedReencode += a.reencode
+			e.latSum += a.latSum
+			if a.latMax > e.met.LatencyMax {
+				e.met.LatencyMax = a.latMax
+			}
+		}
 	}
 	if e.stages != nil {
 		now := time.Now()
@@ -805,38 +1111,46 @@ func (e *Engine) downlink(f int, codec fec.Codec) error {
 	return nil
 }
 
-// emitPacket is the scheduler's emit hook (preallocated as e.emitFn so
-// the per-frame fill path does not close over loop state): it places a
-// scheduled packet into the transmit grid cell the fill state points
-// at and accounts delivery and latency, or discards a packet whose
-// codeword no longer fits a burst after a codec swap (no slot used).
-func (e *Engine) emitPacket(p switchfab.Packet) bool {
+// emitPacket is one beam's emit hook (preallocated per beamState at
+// construction, so the per-frame fill path does not close over loop
+// state): it places a scheduled packet into the beam's next transmit
+// grid cell and accounts delivery and latency into the beam-owned
+// accumulators, or discards a packet whose codeword no longer fits a
+// burst after a codec swap (no slot used). Aggregate (popBeam) packets
+// consume their downlink slot — real capacity spent on the untraced
+// remainder — but synthesize no waveform: the grid cell stays idle, so
+// DSP and ground-verify cost stays proportional to tracer traffic.
+func (e *Engine) emitPacket(bs *beamState, p switchfab.Packet) bool {
 	if e.fill.codec.EncodedLen(len(p.Bits)) > e.fill.budget {
-		e.met.DroppedReencode++
-		e.cls[p.Class].reencode++
+		bs.cls[p.Class].reencode++
 		return false
 	}
-	b, s := e.fill.beam, e.fill.slot
-	e.grid[b][s] = p.Bits
-	e.sent = append(e.sent, sentCell{pkt: p, cell: modem.SlotAssignment{Carrier: b, Slot: s}})
-	e.fill.slot++
-
+	b, s := bs.beam, bs.slot
 	lat := e.fill.frame - p.Ingress
-	e.latSum += lat
-	if lat > e.met.LatencyMax {
-		e.met.LatencyMax = lat
+	switch t := p.Term.(type) {
+	case *termState:
+		e.grid[b][s] = p.Bits
+		bs.sent = append(bs.sent, sentCell{pkt: p, cell: modem.SlotAssignment{Carrier: b, Slot: s}})
+		t.stat.DeliveredBits += len(p.Bits)
+	case *popBeam:
+		t.delivered++
+		t.bits += len(p.Bits)
+		t.latSum += lat
+		if lat > t.latMax {
+			t.latMax = lat
+		}
+	default:
+		e.grid[b][s] = p.Bits
+		bs.sent = append(bs.sent, sentCell{pkt: p, cell: modem.SlotAssignment{Carrier: b, Slot: s}})
 	}
-	cls := &e.cls[p.Class]
+	bs.slot++
+
+	cls := &bs.cls[p.Class]
 	cls.delivered++
 	cls.bits += len(p.Bits)
 	cls.latSum += lat
 	if lat > cls.latMax {
 		cls.latMax = lat
-	}
-	e.met.DeliveredPackets++
-	e.met.DeliveredBits += len(p.Bits)
-	if ts, ok := p.Term.(*termState); ok {
-		ts.stat.DeliveredBits += len(p.Bits)
 	}
 	return true
 }
@@ -917,6 +1231,36 @@ func (e *Engine) snapshotQueues(r *Report) {
 	}
 }
 
+// snapshotPops reduces the per-(population, beam) block accounting to
+// one PopulationStats row per population: the request-side counters
+// accumulated in dama plus the routing/delivery counters the per-beam
+// tasks own, merged in beam order. Rows cover the aggregate remainder
+// only; tracer terminals report individually in PerTerminal.
+func (e *Engine) snapshotPops(r *Report) {
+	if len(e.pops) == 0 {
+		return
+	}
+	r.PerPopulation = make([]PopulationStats, len(e.pops))
+	for i, ps := range e.pops {
+		st := ps.stat
+		for j := range ps.beams {
+			pb := &ps.beams[j]
+			st.RoutedPackets += pb.routed
+			st.DroppedQueue += pb.dropped
+			st.DeliveredPackets += pb.delivered
+			st.DeliveredBits += pb.bits
+			st.LatencySum += pb.latSum
+			if pb.latMax > st.LatencyMax {
+				st.LatencyMax = pb.latMax
+			}
+		}
+		if st.DeliveredPackets > 0 {
+			st.LatencyMean = float64(st.LatencySum) / float64(st.DeliveredPackets)
+		}
+		r.PerPopulation[i] = st
+	}
+}
+
 // Metrics returns a snapshot of the raw run counters — cheap enough to
 // take every frame (no per-terminal reduction), which is how the
 // scenario runtime computes per-frame deltas for its observers.
@@ -924,6 +1268,7 @@ func (e *Engine) Metrics() Report {
 	r := e.met
 	r.LatencySum = e.latSum
 	e.snapshotQueues(&r)
+	e.snapshotPops(&r)
 	return r
 }
 
@@ -939,6 +1284,7 @@ func (e *Engine) Report() *Report {
 		r.LatencyMean = float64(e.latSum) / float64(r.DeliveredPackets)
 	}
 	e.snapshotQueues(&r)
+	e.snapshotPops(&r)
 	r.PerTerminal = make([]TerminalStats, len(e.terms))
 	for i, tsrc := range e.terms {
 		st := tsrc.stat

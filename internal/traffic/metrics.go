@@ -29,6 +29,34 @@ type TerminalStats struct {
 	MinUWMetric float64 `json:"min_uw_metric,omitempty"` // worst unique-word correlation seen
 }
 
+// PopulationStats is the per-population slice of the run metrics under
+// the two-tier model: the aggregate remainder of one Population (the
+// untraced members), request-side admission counters through routing
+// and delivery. Tracer terminals report individually in PerTerminal and
+// are not double-counted here; Members/Tracers record the split.
+type PopulationStats struct {
+	Name    string `json:"name"`
+	Model   string `json:"model"`
+	Class   string `json:"class"`
+	Members int    `json:"members"` // total modeled members (Population.Count)
+	Tracers int    `json:"tracers"` // members modeled as full terminals
+
+	OfferedCells   int `json:"offered_cells"`
+	GrantedCells   int `json:"granted_cells"`
+	DeniedCells    int `json:"denied_cells"`
+	ThrottledCells int `json:"throttled_cells"`
+	UplinkBits     int `json:"uplink_bits"` // info bits of granted aggregate cells
+
+	RoutedPackets    int `json:"routed_packets"`
+	DroppedQueue     int `json:"dropped_queue"`
+	DeliveredPackets int `json:"delivered_packets"`
+	DeliveredBits    int `json:"delivered_bits"`
+
+	LatencySum  int     `json:"latency_sum"`
+	LatencyMean float64 `json:"latency_mean"`
+	LatencyMax  int     `json:"latency_max"`
+}
+
 // ClassStats is the per-traffic-class slice of the run metrics: the
 // switching fabric's queue accounting (packets routed, tail drops,
 // per-class queue high-water) merged with the engine's delivery
@@ -95,6 +123,11 @@ type Report struct {
 	// traffic class (one row per switchfab class, BE first). Populated
 	// by Metrics and Report alike; all-BE runs concentrate in row 0.
 	PerClass []ClassStats `json:"per_class"`
+
+	// PerPopulation carries one row per aggregate population (two-tier
+	// model), covering the untraced remainder; absent on purely
+	// per-terminal runs, so pre-population report JSON is unchanged.
+	PerPopulation []PopulationStats `json:"per_population,omitempty"`
 
 	PerTerminal []TerminalStats `json:"per_terminal"`
 }
@@ -169,6 +202,11 @@ func (r *Report) String() string {
 				cs.Class, cs.RoutedPackets, cs.DeliveredPackets, cs.DeliveredBits,
 				cs.DroppedQueue, cs.LatencyMean, cs.LatencyMax, cs.HighWater)
 		}
+	}
+	for _, ps := range r.PerPopulation {
+		fmt.Fprintf(&b, "  pop %-8s %-16s %7d members (%d traced) offered %6d granted %6d delivered %6d pkts (%8d bits), %d queue drops, latency mean %.2f max %d\n",
+			ps.Name, ps.Model, ps.Members, ps.Tracers, ps.OfferedCells, ps.GrantedCells,
+			ps.DeliveredPackets, ps.DeliveredBits, ps.DroppedQueue, ps.LatencyMean, ps.LatencyMax)
 	}
 	for _, ts := range r.PerTerminal {
 		fmt.Fprintf(&b, "  %-10s %-14s offered %4d granted %4d uplink %6d bits delivered %6d bits",
