@@ -5,6 +5,7 @@ package repro
 // meaningful) parameters; cmd/experiments runs the full-size versions.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -12,6 +13,7 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/campaign"
 	"repro/internal/dsp"
 	"repro/internal/experiments"
 	"repro/internal/fec"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/gates"
 	"repro/internal/modem"
 	"repro/internal/payload"
+	"repro/internal/pipeline"
 	"repro/internal/scenario"
 	"repro/internal/switchfab"
 	"repro/internal/telemetry"
@@ -771,5 +774,46 @@ func BenchmarkAblation_TCModes(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		tab := experiments.AblationTCModes(int64(i) + 1)
 		tab.Print(io.Discard)
+	}
+}
+
+// BenchmarkCampaign prices the Monte Carlo fleet: one small campaign
+// (clean preset, 2 Eb/N0 points × 4 seeds at 4 frames, verification
+// off) executed sequentially versus over the full worker pool. On a
+// multi-core host the conc/seq ratio prices the fleet scale-out; the
+// benchjson speedup gate reads exactly this pair. Each iteration runs
+// the whole 8-session campaign.
+func BenchmarkCampaign(b *testing.B) {
+	off := false
+	spec := campaign.Spec{
+		Name:         "bench",
+		BasePreset:   "clean",
+		Frames:       4,
+		Seed:         7,
+		RunsPerPoint: 4,
+		Verify:       &off,
+		Axes:         []campaign.AxisSpec{{Kind: "ebn0", Values: []any{6.0, 9.0}}},
+		Reducers:     []string{"ber", "goodput"},
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"seq", 1},
+		{"conc", pipeline.Workers()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				art, err := campaign.Execute(context.Background(), &spec, campaign.Config{Workers: bc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if art.CompletedRuns != art.TotalRuns || !art.GatesPassed {
+					b.Fatalf("campaign degraded: %d/%d runs, gates %v",
+						art.CompletedRuns, art.TotalRuns, art.GatesPassed)
+				}
+			}
+		})
 	}
 }

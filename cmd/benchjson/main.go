@@ -8,9 +8,11 @@
 // populations (the session-layer overhead is the delta to the raw
 // engine benches), the switching fabric (sharded vs single-lock
 // routing under concurrent workers, plus the per-scheduler slot-fill
-// cost whose 0 B/op column pins the allocation-free fill path), and the
+// cost whose 0 B/op column pins the allocation-free fill path), the
 // fast-convolution core (FFT plan sizes, overlap-save vs scalar FIR
-// across the crossover).
+// across the crossover), and the Monte Carlo campaign fleet (an N-run
+// campaign sequential vs across the worker pool — the conc/seq ratio
+// prices the fleet scale-out).
 //
 // Each benchmark set runs once per GOMAXPROCS width — 1 (the
 // single-core figure PR acceptance gates compare) and NumCPU (the
@@ -18,8 +20,8 @@
 // at. CI runs the 1x smoke variant on every push; full runs use the go
 // test defaults:
 //
-//	go run ./cmd/benchjson -out BENCH_PR8.json
-//	go run ./cmd/benchjson -benchtime 1x -out BENCH_PR8.json   # smoke
+//	go run ./cmd/benchjson -out BENCH_PR9.json
+//	go run ./cmd/benchjson -benchtime 1x -out BENCH_PR9.json   # smoke
 //	go run ./cmd/benchjson -bench BenchmarkTrafficEngineMegapop \
 //	    -speedup-gate Megapop -min-speedup 0.95                # concurrency gate
 package main
@@ -88,12 +90,12 @@ func gitCommit() string {
 var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
 
 func main() {
-	pattern := flag.String("bench", "BenchmarkProcessFrame|BenchmarkTransmitFrameGrid|BenchmarkTrafficEngine|BenchmarkScenarioSession|BenchmarkSwitchFabric|BenchmarkSchedulerFill|BenchmarkFFT|BenchmarkFastFIRvsScalar|ProcessInto|BenchmarkE10",
-		"benchmark regexp (the pipeline + traffic + scenario + switch-fabric + fast-convolution set by default)")
+	pattern := flag.String("bench", "BenchmarkProcessFrame|BenchmarkTransmitFrameGrid|BenchmarkTrafficEngine|BenchmarkScenarioSession|BenchmarkSwitchFabric|BenchmarkSchedulerFill|BenchmarkFFT|BenchmarkFastFIRvsScalar|ProcessInto|BenchmarkE10|BenchmarkCampaign",
+		"benchmark regexp (the pipeline + traffic + scenario + switch-fabric + fast-convolution + campaign set by default)")
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (e.g. 1x for a smoke run)")
 	pkgs := flag.String("pkgs", ".,./internal/dsp", "comma-separated packages to bench")
 	widthsFlag := flag.String("gomaxprocs", "", "comma-separated GOMAXPROCS widths (default: 1 and NumCPU)")
-	out := flag.String("out", "BENCH_PR8.json", "output file")
+	out := flag.String("out", "BENCH_PR9.json", "output file")
 	telemetryOut := flag.String("telemetry", "", "additionally emit the results as one telemetry flush line (file, or - for stdout)")
 	speedupGate := flag.String("speedup-gate", "", "benchmark name regexp whose widest-width speedup over width 1 must clear -min-speedup")
 	minSpeedup := flag.Float64("min-speedup", 1.0, "minimum (ns/op at width 1) / (ns/op at widest width) ratio for -speedup-gate benchmarks")

@@ -15,15 +15,22 @@
 //     min ≤ mean ≤ max and min ≤ p50 ≤ p90 ≤ p99 ≤ max)
 //   - with -report report.json: the final line's cumulative counters
 //     equal the report exactly, top-level and per traffic class
+//   - with -campaign CAMPAIGN_*.json: the campaign artifact replays
+//     through campaign.ValidateArtifact — structural counts, derived
+//     seeds, per-point statistics recomputed from the raw rows, gate
+//     verdicts — after a strict (unknown-field-rejecting) decode
 //
 // Usage:
 //
 //	trafficsim -preset impaired -frames 4 -telemetry tl.jsonl -report-json rep.json
 //	tlmcheck -telemetry tl.jsonl -report rep.json
+//	fleet -preset ebn0-sweep -out CAMPAIGN_ebn0-sweep.json
+//	tlmcheck -campaign CAMPAIGN_ebn0-sweep.json
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -31,16 +38,33 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/campaign"
 	"repro/internal/telemetry"
 	"repro/internal/traffic"
 )
 
 func main() {
-	telemetryIn := flag.String("telemetry", "", "telemetry JSONL feed to validate (required)")
+	telemetryIn := flag.String("telemetry", "", "telemetry JSONL feed to validate")
 	reportIn := flag.String("report", "", "end-of-run report JSON to reconcile the final counters against")
+	campaignIn := flag.String("campaign", "", "CAMPAIGN_*.json artifact to validate instead of (or alongside) a telemetry feed")
 	flag.Parse()
+	if *telemetryIn == "" && *campaignIn == "" {
+		log.Fatal("tlmcheck: -telemetry or -campaign is required")
+	}
+
+	if *campaignIn != "" {
+		art, err := loadArtifact(*campaignIn)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := campaign.ValidateArtifact(art); err != nil {
+			log.Fatalf("tlmcheck: %s: %v", *campaignIn, err)
+		}
+		fmt.Printf("tlmcheck: %s ok (%d/%d runs, %d points, gates passed=%v)\n",
+			*campaignIn, art.CompletedRuns, art.TotalRuns, len(art.Points), art.GatesPassed)
+	}
 	if *telemetryIn == "" {
-		log.Fatal("tlmcheck: -telemetry is required")
+		return
 	}
 
 	lines, err := loadLines(*telemetryIn)
@@ -88,6 +112,25 @@ func loadLines(path string) ([]telemetry.Line, error) {
 		lines = append(lines, ln)
 	}
 	return lines, sc.Err()
+}
+
+// loadArtifact reads a campaign artifact strictly: unknown fields are
+// schema drift, the same contract the telemetry lines get.
+func loadArtifact(path string) (*campaign.Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var art campaign.Artifact
+	if err := dec.Decode(&art); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("%s: trailing content after artifact", path)
+	}
+	return &art, nil
 }
 
 func loadReport(path string) (*traffic.Report, error) {

@@ -1,0 +1,62 @@
+package scenario
+
+// Clone returns a deep copy of the spec: mutating the copy (terminal
+// lists, channel profiles, event scripts, the scheduler) never reaches
+// the original. This is the override hook campaign expansion rides — a
+// base spec is cloned once per grid point and once more per run before
+// the sweep axes and the derived seed are applied.
+func (sp Spec) Clone() Spec {
+	out := sp
+	if sp.Terminals != nil {
+		out.Terminals = make([]TerminalSpec, len(sp.Terminals))
+		for i, t := range sp.Terminals {
+			out.Terminals[i] = t.Clone()
+		}
+	}
+	if sp.Events != nil {
+		out.Events = make([]Event, len(sp.Events))
+		for i, ev := range sp.Events {
+			out.Events[i] = ev.Clone()
+		}
+	}
+	out.Traffic.Scheduler = sp.Traffic.Scheduler.clone()
+	return out
+}
+
+// Clone returns a deep copy of one terminal (or population) spec.
+func (t TerminalSpec) Clone() TerminalSpec {
+	out := t
+	out.Channel = t.Channel.clone()
+	if t.Beams != nil {
+		out.Beams = append([]int(nil), t.Beams...)
+	}
+	return out
+}
+
+// Clone returns a deep copy of one scripted event.
+func (ev Event) Clone() Event {
+	out := ev
+	if ev.Join != nil {
+		j := ev.Join.Clone()
+		out.Join = &j
+	}
+	out.Channel = ev.Channel.clone()
+	out.Scheduler = ev.Scheduler.clone()
+	return out
+}
+
+func (c *ChannelSpec) clone() *ChannelSpec {
+	if c == nil {
+		return nil
+	}
+	cp := *c
+	return &cp
+}
+
+func (s *SchedulerSpec) clone() *SchedulerSpec {
+	if s == nil {
+		return nil
+	}
+	cp := *s
+	return &cp
+}

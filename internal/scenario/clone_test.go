@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestSpecCloneDeep pins the Clone contract campaign expansion depends
+// on: the copy is structurally equal, and mutating every reference-typed
+// field of the copy leaves the original untouched.
+func TestSpecCloneDeep(t *testing.T) {
+	for _, name := range PresetNames() {
+		sp, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp := sp.Clone()
+		if !reflect.DeepEqual(sp, cp) {
+			t.Fatalf("%s: clone differs from original", name)
+		}
+		// Mutate everything shared by reference in the clone.
+		for i := range cp.Terminals {
+			cp.Terminals[i].ID = "mutated"
+			if cp.Terminals[i].Channel != nil {
+				cp.Terminals[i].Channel.CFO = 99
+			}
+			for j := range cp.Terminals[i].Beams {
+				cp.Terminals[i].Beams[j] = 99
+			}
+		}
+		for i := range cp.Events {
+			cp.Events[i].Frame = 9999
+			if cp.Events[i].Join != nil {
+				cp.Events[i].Join.ID = "mutated"
+			}
+			if cp.Events[i].Channel != nil {
+				cp.Events[i].Channel.CFO = 99
+			}
+			if cp.Events[i].Scheduler != nil {
+				cp.Events[i].Scheduler.Kind = "mutated"
+			}
+		}
+		if cp.Traffic.Scheduler != nil {
+			cp.Traffic.Scheduler.Kind = "mutated"
+		}
+		orig, err := Preset(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(sp, orig) {
+			t.Fatalf("%s: mutating the clone reached the original", name)
+		}
+	}
+}
+
+// TestPresetsEnumeration checks Presets() tracks the name registry and
+// hands out independent specs.
+func TestPresetsEnumeration(t *testing.T) {
+	names := PresetNames()
+	specs := Presets()
+	if len(specs) != len(names) {
+		t.Fatalf("Presets() returned %d specs for %d names", len(specs), len(names))
+	}
+	for i, sp := range specs {
+		if sp.Name != names[i] {
+			t.Fatalf("preset %d: spec name %q, registry name %q", i, sp.Name, names[i])
+		}
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", sp.Name, err)
+		}
+	}
+	// Fresh specs per call: mutating one enumeration must not leak into
+	// the next.
+	specs[0].Terminals[0].ID = "mutated"
+	again := Presets()
+	if again[0].Terminals[0].ID == "mutated" {
+		t.Fatal("Presets() shares terminal state across calls")
+	}
+}

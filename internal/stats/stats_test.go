@@ -1,0 +1,104 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refPercentile is the independent reference: sort a copy, take the
+// smallest sample with at least q·n samples at or below it.
+func refPercentile(samples []float64, q float64) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q * float64(len(s))))
+	if idx < 1 {
+		idx = 1
+	}
+	return s[idx-1]
+}
+
+func TestSummarizeAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ramp := make([]float64, 1000)
+	for i := range ramp {
+		ramp[i] = float64(i)
+	}
+	rev := make([]float64, 500)
+	for i := range rev {
+		rev[i] = float64(len(rev) - i)
+	}
+	noise := make([]float64, 777)
+	for i := range noise {
+		noise[i] = rng.Float64() * 1e6
+	}
+	dup := make([]float64, 300)
+	for i := range dup {
+		dup[i] = float64(i % 3)
+	}
+	cases := map[string][]float64{
+		"single":   {42},
+		"pair":     {2, 1},
+		"constant": {5, 5, 5, 5, 5},
+		"ramp":     ramp,
+		"reverse":  rev,
+		"noise":    noise,
+		"dups":     dup,
+	}
+	for name, samples := range cases {
+		orig := append([]float64(nil), samples...)
+		sum := 0.0
+		for _, v := range orig {
+			sum += v
+		}
+		st := Summarize(samples)
+		if st.Count != len(orig) {
+			t.Fatalf("%s: count %d, want %d", name, st.Count, len(orig))
+		}
+		sorted := append([]float64(nil), orig...)
+		sort.Float64s(sorted)
+		if st.Min != sorted[0] || st.Max != sorted[len(sorted)-1] {
+			t.Fatalf("%s: min/max %v/%v, want %v/%v", name, st.Min, st.Max, sorted[0], sorted[len(sorted)-1])
+		}
+		if mean := sum / float64(len(orig)); math.Abs(st.Mean-mean) > 1e-9*math.Max(1, math.Abs(mean)) {
+			t.Fatalf("%s: mean %v, want %v", name, st.Mean, mean)
+		}
+		for _, pc := range []struct {
+			q    float64
+			got  float64
+			name string
+		}{{0.50, st.P50, "p50"}, {0.90, st.P90, "p90"}, {0.99, st.P99, "p99"}} {
+			if want := refPercentile(orig, pc.q); pc.got != want {
+				t.Fatalf("%s: %s = %v, want %v", name, pc.name, pc.got, want)
+			}
+		}
+		if !(st.Min <= st.P50 && st.P50 <= st.P90 && st.P90 <= st.P99 && st.P99 <= st.Max) {
+			t.Fatalf("%s: percentiles out of order: %+v", name, st)
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if st := Summarize(nil); st != (Summary{}) {
+		t.Fatalf("empty summary not zero: %+v", st)
+	}
+	if v := Percentile(nil, 0.5); v != 0 {
+		t.Fatalf("empty percentile %v", v)
+	}
+}
+
+// TestPercentileBounds pins the rank clamping: q=0 gives the min, q=1
+// the max, tiny and huge q stay in range.
+func TestPercentileBounds(t *testing.T) {
+	s := []float64{1, 2, 3, 4}
+	if v := Percentile(s, 0); v != 1 {
+		t.Fatalf("q=0: %v", v)
+	}
+	if v := Percentile(s, 1); v != 4 {
+		t.Fatalf("q=1: %v", v)
+	}
+	if v := Percentile(s, 0.0001); v != 1 {
+		t.Fatalf("q->0: %v", v)
+	}
+}

@@ -20,10 +20,11 @@ package telemetry
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/stats"
 )
 
 // DefaultTimerCap bounds a timer's per-interval sample buffer. Samples
@@ -236,39 +237,16 @@ type TimerStats struct {
 	P99     float64 `json:"p99"`
 }
 
-// reduce sorts samples in place and computes the interval stats.
+// reduce sorts samples in place (via the shared stats.Summarize
+// reduction — the one nearest-rank implementation campaign reducers use
+// too) and computes the interval stats.
 func reduce(samples []float64, overflow int64) TimerStats {
 	st := TimerStats{Count: int64(len(samples)) + overflow, Dropped: overflow}
-	n := len(samples)
-	if n == 0 {
+	if len(samples) == 0 {
 		return st
 	}
-	sort.Float64s(samples)
-	sum := 0.0
-	for _, v := range samples {
-		sum += v
-	}
-	st.Min = samples[0]
-	st.Max = samples[n-1]
-	st.Mean = sum / float64(n)
-	st.P50 = percentile(samples, 0.50)
-	st.P90 = percentile(samples, 0.90)
-	st.P99 = percentile(samples, 0.99)
+	s := stats.Summarize(samples)
+	st.Min, st.Mean, st.Max = s.Min, s.Mean, s.Max
+	st.P50, st.P90, st.P99 = s.P50, s.P90, s.P99
 	return st
-}
-
-// percentile is the nearest-rank percentile of an ascending-sorted
-// slice: the smallest sample with at least q·n samples at or below it.
-func percentile(sorted []float64, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	rank := int(math.Ceil(q * float64(len(sorted))))
-	if rank < 1 {
-		rank = 1
-	}
-	if rank > len(sorted) {
-		rank = len(sorted)
-	}
-	return sorted[rank-1]
 }

@@ -186,9 +186,12 @@ const exactBlockMax = 64
 // Name implements AggregateModel.
 func (m AggregateBernoulli) Name() string { return fmt.Sprintf("agg-bern-%.2f-%d", m.P, m.Cells) }
 
-// splitmix64 is the counter-based hash behind the Bernoulli draws — the
+// SplitMix64 is the counter-based hash behind the Bernoulli draws — the
 // standard SplitMix64 finalizer, full-period and well distributed.
-func splitmix64(x uint64) uint64 {
+// Exported because it is also the repo's seed-derivation primitive: the
+// campaign runner hashes (campaign seed, run index) through it to give
+// every Monte Carlo run an independent deterministic engine seed.
+func SplitMix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4b9fe
 	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
@@ -197,7 +200,7 @@ func splitmix64(x uint64) uint64 {
 
 // hashUnit reduces a hash to a uniform float64 in [0, 1).
 func hashUnit(x uint64) float64 {
-	return float64(splitmix64(x)>>11) / (1 << 53)
+	return float64(SplitMix64(x)>>11) / (1 << 53)
 }
 
 // memberDraw is one member's Bernoulli draw at one frame.
