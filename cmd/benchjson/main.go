@@ -20,8 +20,8 @@
 // at. CI runs the 1x smoke variant on every push; full runs use the go
 // test defaults:
 //
-//	go run ./cmd/benchjson -out BENCH_PR9.json
-//	go run ./cmd/benchjson -benchtime 1x -out BENCH_PR9.json   # smoke
+//	go run ./cmd/benchjson -out BENCH_PR10.json
+//	go run ./cmd/benchjson -benchtime 1x -out BENCH_PR10.json   # smoke
 //	go run ./cmd/benchjson -bench BenchmarkTrafficEngineMegapop \
 //	    -speedup-gate Megapop -min-speedup 0.95                # concurrency gate
 package main
@@ -95,10 +95,13 @@ func main() {
 	benchtime := flag.String("benchtime", "", "go test -benchtime value (e.g. 1x for a smoke run)")
 	pkgs := flag.String("pkgs", ".,./internal/dsp", "comma-separated packages to bench")
 	widthsFlag := flag.String("gomaxprocs", "", "comma-separated GOMAXPROCS widths (default: 1 and NumCPU)")
-	out := flag.String("out", "BENCH_PR9.json", "output file")
+	out := flag.String("out", "BENCH_PR10.json", "output file")
 	telemetryOut := flag.String("telemetry", "", "additionally emit the results as one telemetry flush line (file, or - for stdout)")
 	speedupGate := flag.String("speedup-gate", "", "benchmark name regexp whose widest-width speedup over width 1 must clear -min-speedup")
 	minSpeedup := flag.Float64("min-speedup", 1.0, "minimum (ns/op at width 1) / (ns/op at widest width) ratio for -speedup-gate benchmarks")
+	baseline := flag.String("baseline", "", "print per-benchmark ns/op, B/op, allocs/op deltas against a previously recorded BENCH_PRn.json")
+	vsGate := flag.String("vs-gate", "", "CHALLENGER:BASELINE benchmark-name pair; at the widest width ns/op(BASELINE)/ns/op(CHALLENGER) must clear -min-vs")
+	minVs := flag.Float64("min-vs", 1.0, "minimum baseline/challenger speedup for -vs-gate")
 	flag.Parse()
 
 	widths, err := parseWidths(*widthsFlag)
@@ -144,11 +147,150 @@ func main() {
 		}
 	}
 	fmt.Printf("wrote %d results to %s\n", len(file.Results), *out)
+	if *baseline != "" {
+		if err := printBaseline(*baseline, file); err != nil {
+			log.Fatal(err)
+		}
+	}
 	if *speedupGate != "" {
 		if err := checkSpeedup(file, *speedupGate, *minSpeedup); err != nil {
 			log.Fatal(err)
 		}
 	}
+	if *vsGate != "" {
+		if err := checkVsGate(file, *vsGate, *minVs); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// printBaseline loads a previously recorded artifact and prints the
+// per-benchmark deltas computed by diffBaseline — the first cross-PR
+// perf-trajectory view over the checked-in BENCH_PRn.json files.
+func printBaseline(path string, cur File) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("-baseline: %w", err)
+	}
+	var base File
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("-baseline %s: %w", path, err)
+	}
+	label := base.GitCommit
+	if label == "" {
+		label = path
+	}
+	fmt.Printf("baseline: %s (%d results, generated %s)\n", label, len(base.Results), base.Generated)
+	for _, line := range diffBaseline(base, cur) {
+		fmt.Println(line)
+	}
+	return nil
+}
+
+// diffBaseline compares the current results against a baseline file,
+// one line per (package, name, width) present in both (ns/op with the
+// percentage change, B/op and allocs/op side by side); benchmarks only
+// one side knows are summarized, not errors — suites grow across PRs.
+func diffBaseline(base, cur File) []string {
+	type key struct {
+		pkg, name string
+		width     int
+	}
+	baseBy := make(map[key]Result, len(base.Results))
+	for _, r := range base.Results {
+		baseBy[key{r.Package, r.Name, r.GOMAXPROCS}] = r
+	}
+	var lines []string
+	matched := map[key]bool{}
+	for _, r := range cur.Results {
+		k := key{r.Package, r.Name, r.GOMAXPROCS}
+		b, ok := baseBy[k]
+		if !ok {
+			lines = append(lines, fmt.Sprintf("  %-44s p%-2d (new, no baseline)", r.Name, r.GOMAXPROCS))
+			continue
+		}
+		matched[k] = true
+		lines = append(lines, fmt.Sprintf("  %-44s p%-2d ns/op %12.0f -> %12.0f (%s)  B/op %9d -> %9d  allocs %6d -> %6d",
+			r.Name, r.GOMAXPROCS, b.NsPerOp, r.NsPerOp, pctDelta(b.NsPerOp, r.NsPerOp),
+			b.BytesPerOp, r.BytesPerOp, b.AllocsPerOp, r.AllocsPerOp))
+	}
+	dropped := 0
+	for _, r := range base.Results {
+		if !matched[key{r.Package, r.Name, r.GOMAXPROCS}] {
+			dropped++
+		}
+	}
+	if dropped > 0 {
+		lines = append(lines, fmt.Sprintf("  (%d baseline results had no current counterpart)", dropped))
+	}
+	return lines
+}
+
+// pctDelta renders the old→new relative change; a zero or missing old
+// figure has no meaningful percentage.
+func pctDelta(old, cur float64) string {
+	if old == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (cur-old)/old*100)
+}
+
+// checkVsGate enforces a cross-benchmark gate at the widest measured
+// width: for "CHALLENGER:BASELINE" (exact benchmark names), the
+// baseline's ns/op divided by the challenger's must clear min — how CI
+// asserts the pipelined engine step beats (or at least matches) the
+// sequential one at GOMAXPROCS=NumCPU. A single-width sweep on a
+// 1-core host has no parallelism for the challenger to win with and
+// passes with a note, mirroring checkSpeedup.
+func checkVsGate(file File, spec string, min float64) error {
+	chal, base, ok := strings.Cut(spec, ":")
+	if !ok || chal == "" || base == "" {
+		return fmt.Errorf("bad -vs-gate %q, want CHALLENGER:BASELINE", spec)
+	}
+	widest := 0
+	for _, r := range file.Results {
+		if r.GOMAXPROCS > widest {
+			widest = r.GOMAXPROCS
+		}
+	}
+	if widest <= 1 {
+		fmt.Printf("vs gate: single width %d, nothing to compare\n", widest)
+		return nil
+	}
+	lookup := func(name string) (float64, error) {
+		var ns float64
+		found := false
+		for _, r := range file.Results {
+			if r.Name != name || r.GOMAXPROCS != widest {
+				continue
+			}
+			if found {
+				return 0, fmt.Errorf("vs gate: benchmark %s is ambiguous at width %d (multiple packages)", name, widest)
+			}
+			ns, found = r.NsPerOp, true
+		}
+		if !found {
+			return 0, fmt.Errorf("vs gate: benchmark %s has no result at width %d", name, widest)
+		}
+		return ns, nil
+	}
+	chalNs, err := lookup(chal)
+	if err != nil {
+		return err
+	}
+	baseNs, err := lookup(base)
+	if err != nil {
+		return err
+	}
+	if chalNs == 0 {
+		return fmt.Errorf("vs gate: %s measured 0 ns/op at width %d", chal, widest)
+	}
+	speedup := baseNs / chalNs
+	fmt.Printf("vs gate: %s vs %s at GOMAXPROCS=%d = %.2fx (min %.2f)\n", chal, base, widest, speedup, min)
+	if speedup < min {
+		return fmt.Errorf("vs gate: %s at GOMAXPROCS=%d is %.2fx the %s rate, below the %.2f floor", chal, widest, speedup, base, min)
+	}
+	return nil
 }
 
 // checkSpeedup enforces the concurrency acceptance gate: for every

@@ -71,6 +71,7 @@ func main() {
 	ebn0 := flag.Float64("ebn0", 9, "uplink Eb/N0 in dB (0 = noiseless)")
 	verify := flag.Bool("verify", false, "ground-demodulate the downlink and check every bit")
 	seed := flag.Int64("seed", 1, "random seed")
+	pipelineMode := flag.String("pipeline", "auto", "cross-frame pipelined stepping: auto (on when GOMAXPROCS>1), on or off")
 	cfoMax := flag.Float64("cfo", 0, "spread per-terminal carrier frequency offsets across ±cfo cycles/symbol (acquisition range ±0.1)")
 	drift := flag.Float64("drift", 0, "Doppler ramp on the last terminal, cycles/symbol per frame")
 	timingSpread := flag.Bool("timing-spread", false, "spread per-terminal fractional timing offsets across [0, 1)")
@@ -131,6 +132,9 @@ func main() {
 	}
 	if use("seed") {
 		spec.Traffic.Seed = *seed
+	}
+	if use("pipeline") {
+		spec.Traffic.Pipeline = *pipelineMode
 	}
 	// Population flags rebuild the terminal set; a bare -carriers
 	// override keeps a preset's population (and its impairments) and
@@ -239,6 +243,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer sess.Close()
 
 	var tel *scenario.TelemetryObserver
 	var telFile *os.File
@@ -285,9 +290,13 @@ func main() {
 	if members > len(spec.Terminals) {
 		popDesc = fmt.Sprintf("%d entries / %d modeled members (%d traced)", len(spec.Terminals), members, traced)
 	}
-	fmt.Printf("trafficsim: scenario %q, %d frames, %dx%d grid, codec=%s, %s, queue=%d (%s), Eb/N0=%.1f dB, %d scripted events\n",
+	stepping := "sequential"
+	if sess.Pipelined() {
+		stepping = "pipelined"
+	}
+	fmt.Printf("trafficsim: scenario %q, %d frames, %dx%d grid, codec=%s, %s, queue=%d (%s), Eb/N0=%.1f dB, %d scripted events, %s stepping\n",
 		name, spec.Frames, spec.Traffic.Carriers, spec.Traffic.Slots, spec.System.Codec,
-		popDesc, spec.Traffic.QueueDepth, spec.Traffic.Policy, spec.Traffic.EbN0dB, len(spec.Events))
+		popDesc, spec.Traffic.QueueDepth, spec.Traffic.Policy, spec.Traffic.EbN0dB, len(spec.Events), stepping)
 
 	rep, err := sess.Run(context.Background())
 	if err != nil {

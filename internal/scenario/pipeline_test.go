@@ -1,0 +1,212 @@
+package scenario
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	"repro/internal/switchfab"
+	"repro/internal/traffic"
+)
+
+// pipelineRun executes a spec to completion under the given pipeline
+// mode with the telemetry observer attached, and returns the per-frame
+// stat sequence, the final report (wall time zeroed — the only
+// nondeterministic field) and a snapshot of every deterministic
+// telemetry metric. The three together are the bit-identity surface the
+// pipelined engine promises: reports, telemetry counters, ground-verify
+// bits (the report's downlink loss/error counters).
+func pipelineRun(t *testing.T, sp Spec, mode PipelineMode) ([]FrameStats, string, map[string]string) {
+	t.Helper()
+	var frames []FrameStats
+	sess, err := NewSession(sp,
+		WithPipeline(mode),
+		WithObserver(func(st FrameStats, _ func() *traffic.Report) {
+			frames = append(frames, st)
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	tel := NewTelemetryObserver(io.Discard, TelemetryConfig{FlushEvery: 1, DisableRuntime: true})
+	tel.Attach(sess)
+	if want := mode == PipelineOn; sess.Pipelined() != want {
+		t.Fatalf("Pipelined() = %v under mode %v", sess.Pipelined(), mode)
+	}
+	rep, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tel.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep.WallSeconds = 0
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return frames, string(data), telemetrySnapshot(sess, tel)
+}
+
+// telemetrySnapshot reads back every deterministic metric the
+// TelemetryObserver interns (cumulative counters, per-class and
+// per-population families, queue-depth gauges). Timers are excluded:
+// their samples are wall-clock durations, legitimately different
+// between runs.
+func telemetrySnapshot(sess *Session, tel *TelemetryObserver) map[string]string {
+	reg := tel.Registry()
+	out := map[string]string{}
+	names := []string{
+		"frames", "outage_frames", "granted_cells", "throttled_cells",
+		"uplink_failures", "uplink_bit_errs", "delivered_packets",
+		"delivered_bits", "dropped_queue", "dropped_reencode",
+		"events", "event_failures",
+	}
+	for _, c := range switchfab.Classes() {
+		p := "class." + c.String() + "."
+		names = append(names, p+"routed_packets", p+"dropped_queue",
+			p+"dropped_reencode", p+"delivered_packets", p+"delivered_bits")
+	}
+	for _, ps := range sess.Engine().Populations() {
+		p := "pop." + ps.Name + "."
+		names = append(names, p+"offered_cells", p+"granted_cells",
+			p+"denied_cells", p+"throttled_cells", p+"routed_packets",
+			p+"dropped_queue", p+"delivered_packets", p+"delivered_bits")
+	}
+	for _, n := range names {
+		out[n] = fmt.Sprint(reg.Counter(n).Value())
+	}
+	for b := 0; b < sess.Engine().Config().Frame.Carriers; b++ {
+		n := fmt.Sprintf("queue.beam%d.depth", b)
+		out[n] = fmt.Sprint(reg.Gauge(n).Value())
+	}
+	return out
+}
+
+// identityFrames shortens a preset for the table test while keeping
+// every scripted event (plus a few frames of aftermath) in play — the
+// swap-under-load decoder swap at frame 60 stays covered without
+// running its full 120 frames twice per comparison.
+func identityFrames(sp Spec) int {
+	frames := 12
+	for _, ev := range sp.Events {
+		if ev.Frame+3 > frames {
+			frames = ev.Frame + 3
+		}
+	}
+	if frames > sp.Frames {
+		return sp.Frames
+	}
+	return frames
+}
+
+// The tentpole acceptance bar: on every registered preset, a pipelined
+// run is bit-identical to a sequential one — per-frame stat deltas,
+// the final report (ground-verify counters included) and every
+// deterministic telemetry metric.
+func TestPipelinedBitIdenticalToSequentialAllPresets(t *testing.T) {
+	for _, sp := range Presets() {
+		sp := sp
+		t.Run(sp.Name, func(t *testing.T) {
+			sp.Frames = identityFrames(sp)
+			seqFrames, seqRep, seqTel := pipelineRun(t, sp, PipelineOff)
+			pipFrames, pipRep, pipTel := pipelineRun(t, sp, PipelineOn)
+
+			if len(seqFrames) != len(pipFrames) {
+				t.Fatalf("frame counts diverged: %d vs %d", len(seqFrames), len(pipFrames))
+			}
+			for i := range seqFrames {
+				if fmt.Sprintf("%+v", seqFrames[i]) != fmt.Sprintf("%+v", pipFrames[i]) {
+					t.Fatalf("frame %d stats diverged:\nseq: %+v\npip: %+v", i, seqFrames[i], pipFrames[i])
+				}
+			}
+			if seqRep != pipRep {
+				t.Fatalf("final report diverged:\nseq: %s\npip: %s", seqRep, pipRep)
+			}
+			for k, v := range seqTel {
+				if pipTel[k] != v {
+					t.Fatalf("telemetry metric %s diverged: seq %s, pipelined %s", k, v, pipTel[k])
+				}
+			}
+		})
+	}
+}
+
+// A mid-run control-plane event (the swap-under-load decoder swap)
+// drains the pipeline and steps its frame sequentially; pipelining
+// resumes immediately after, and the outcome still matches sequential.
+func TestPipelinedEventFrameFallsBackSequential(t *testing.T) {
+	sp, err := Preset("swap-under-load")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Frames = 64 // the decoder swap fires at frame 60
+
+	sess, err := NewSession(sp, WithPipeline(PipelineOn))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	rep, err := sess.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pipelined, sequential := sess.PipelineFrames()
+	if sequential != 1 {
+		t.Fatalf("sequential-fallback frames %d, want exactly the event frame", sequential)
+	}
+	if pipelined != sp.Frames-1 {
+		t.Fatalf("pipelined frames %d, want %d", pipelined, sp.Frames-1)
+	}
+	if log := sess.EventLog(); len(log) != 1 || log[0].Err != nil {
+		t.Fatalf("event log %+v", log)
+	}
+
+	_, seqRep, _ := pipelineRun(t, sp, PipelineOff)
+	rep.WallSeconds = 0
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(data) != seqRep {
+		t.Fatalf("event-fallback run diverged from sequential:\nseq: %s\npip: %s", seqRep, string(data))
+	}
+}
+
+// Auto mode resolves by host width: pipelined exactly when the
+// process has more than one CPU to overlap on.
+func TestPipelineAutoFollowsGOMAXPROCS(t *testing.T) {
+	sp, err := Preset("clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(sp) // spec default = auto
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if want := runtime.GOMAXPROCS(0) > 1; sess.Pipelined() != want {
+		t.Fatalf("auto mode pipelined=%v with GOMAXPROCS=%d", sess.Pipelined(), runtime.GOMAXPROCS(0))
+	}
+}
+
+// The spec-level switch parses strictly.
+func TestPipelineModeValidation(t *testing.T) {
+	sp, err := Preset("clean")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp.Traffic.Pipeline = "sideways"
+	if err := sp.Validate(); err == nil {
+		t.Fatal("bogus pipeline mode validated")
+	}
+	for _, ok := range []string{"", "auto", "on", "off"} {
+		sp.Traffic.Pipeline = ok
+		if err := sp.Validate(); err != nil {
+			t.Fatalf("pipeline mode %q rejected: %v", ok, err)
+		}
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 
 	"repro/internal/payload"
@@ -103,6 +104,17 @@ type Session struct {
 	verify    bool
 	verifySet bool
 
+	// pr, when non-nil, is the cross-frame pipelined runner the session
+	// steps through (resolved from the spec's pipeline switch or
+	// WithPipeline at construction). Event frames drain it and fall
+	// back to one sequential engine step; pipeFrames/seqFrames count
+	// the two paths.
+	pr         *traffic.PipelinedRunner
+	pmode      PipelineMode
+	pmodeSet   bool
+	pipeFrames int
+	seqFrames  int
+
 	events []Event // sorted stable by frame
 	next   int
 	log    []EventRecord
@@ -151,6 +163,11 @@ func WithPopulation(terms []traffic.Terminal) Option {
 // TrafficSpec does not model).
 func WithTrafficConfig(cfg traffic.Config) Option {
 	return func(s *Session) { c := cfg; s.cfg = &c }
+}
+
+// WithPipeline overrides the spec's cross-frame pipeline switch.
+func WithPipeline(m PipelineMode) Option {
+	return func(s *Session) { s.pmode, s.pmodeSet = m, true }
 }
 
 // NewSession resolves and validates a Spec into a runnable Session.
@@ -240,6 +257,13 @@ func NewSession(spec Spec, opts ...Option) (*Session, error) {
 		return nil, err
 	}
 	s.eng = eng
+	if !s.pmodeSet {
+		// Validation already vetted the spec string; parse cannot fail.
+		s.pmode, _ = ParsePipelineMode(s.spec.Traffic.Pipeline)
+	}
+	if s.pmode == PipelineOn || (s.pmode == PipelineAuto && runtime.GOMAXPROCS(0) > 1) {
+		s.pr = traffic.NewPipelinedRunner(eng)
+	}
 	s.events = append([]Event(nil), s.spec.Events...)
 	sort.SliceStable(s.events, func(i, j int) bool { return s.events[i].Frame < s.events[j].Frame })
 	s.prev = eng.Metrics()
@@ -271,8 +295,47 @@ func (s *Session) Payload() *payload.Payload { return s.pl }
 // Frame returns the number of frames completed.
 func (s *Session) Frame() int { return s.eng.Frame() }
 
-// Report snapshots the cumulative run metrics.
-func (s *Session) Report() *traffic.Report { return s.eng.Report() }
+// Pipelined reports whether the session steps through the cross-frame
+// pipelined runner (spec "on", or "auto" with GOMAXPROCS > 1).
+func (s *Session) Pipelined() bool { return s.pr != nil }
+
+// PipelineFrames returns how many frames stepped through the pipelined
+// runner and how many fell back to sequential stepping (event frames);
+// both stay zero on a sequential session.
+func (s *Session) PipelineFrames() (pipelined, sequential int) {
+	return s.pipeFrames, s.seqFrames
+}
+
+// SetPipelineTimers attaches the engine.pipeline.* occupancy timers to
+// the runner; a no-op on a sequential session. Attach between frames.
+func (s *Session) SetPipelineTimers(pt *traffic.PipelineTimers) {
+	if s.pr != nil {
+		s.pr.SetTimers(pt)
+	}
+}
+
+// Report snapshots the cumulative run metrics. On a pipelined session
+// it first drains the in-flight frame so the snapshot includes every
+// ground-verify counter; a drain failure surfaces on the next Step.
+func (s *Session) Report() *traffic.Report {
+	if s.pr != nil {
+		_ = s.pr.Drain()
+	}
+	return s.eng.Report()
+}
+
+// Close drains and releases the session's pipelined runner, if any —
+// without it the runner's parked worker goroutine outlives the session,
+// which matters to long-lived processes building many sessions (the
+// campaign fleet). Run closes the runner itself when it reaches the
+// scripted frame count; Close after that is a no-op, and a closed
+// session keeps working with plain sequential stepping.
+func (s *Session) Close() error {
+	if s.pr == nil {
+		return nil
+	}
+	return s.pr.Close()
+}
 
 // EventLog returns the events executed so far, in execution order.
 func (s *Session) EventLog() []EventRecord { return append([]EventRecord(nil), s.log...) }
@@ -288,6 +351,15 @@ func (s *Session) Step() (FrameStats, error) {
 	}
 	f := s.eng.Frame()
 	st := FrameStats{Frame: f}
+	hasEvents := s.next < len(s.events) && s.events[s.next].Frame <= f
+	if hasEvents && s.pr != nil {
+		// Events mutate the engine and payload at the frame boundary;
+		// the in-flight egress must finish first, and the event frame
+		// itself steps sequentially — the pipelined fallback contract.
+		if err := s.pr.Drain(); err != nil {
+			return st, err
+		}
+	}
 	for s.next < len(s.events) && s.events[s.next].Frame <= f {
 		ev := s.events[s.next]
 		s.next++
@@ -298,7 +370,17 @@ func (s *Session) Step() (FrameStats, error) {
 			return st, fmt.Errorf("scenario: frame %d event %s: %w", f, ev.Action, rec.Err)
 		}
 	}
-	if err := s.eng.Step(); err != nil {
+	var err error
+	if s.pr != nil && !hasEvents {
+		err = s.pr.Step()
+		s.pipeFrames++
+	} else {
+		err = s.eng.Step()
+		if s.pr != nil {
+			s.seqFrames++
+		}
+	}
+	if err != nil {
 		return st, err
 	}
 	cur := s.eng.Metrics()
@@ -333,9 +415,18 @@ func (s *Session) Run(ctx context.Context) (*traffic.Report, error) {
 	}
 	for s.eng.Frame() < s.spec.Frames {
 		if err := ctx.Err(); err != nil {
-			return s.eng.Report(), err
+			return s.Report(), err
 		}
 		if _, err := s.Step(); err != nil {
+			return s.Report(), err
+		}
+	}
+	if s.pr != nil {
+		// The scripted run is complete: release the pipeline worker so
+		// run-and-discard callers (RunScenario, experiments) do not leak
+		// a goroutine per session. Extra free-run Steps keep working,
+		// sequentially.
+		if err := s.pr.Close(); err != nil {
 			return s.eng.Report(), err
 		}
 	}

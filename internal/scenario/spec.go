@@ -86,6 +86,12 @@ type TrafficSpec struct {
 	// Scheduler selects the downlink scheduler over the switching
 	// fabric's class queues; nil is FIFO (arrival order).
 	Scheduler *SchedulerSpec `json:"scheduler,omitempty"`
+	// Pipeline selects cross-frame pipelined stepping — frame N's
+	// egress overlapping frame N+1's ingest, bit-identical to
+	// sequential: "auto" (default; pipelined when GOMAXPROCS > 1),
+	// "on", or "off". Frames carrying scripted events always step
+	// sequentially, whatever the mode.
+	Pipeline string `json:"pipeline,omitempty"`
 }
 
 // SchedulerSpec is the declarative downlink scheduler: Kind selects
@@ -280,6 +286,36 @@ func ParsePolicy(s string) (traffic.DropPolicy, error) {
 		return traffic.Backpressure, nil
 	default:
 		return 0, fmt.Errorf("scenario: unknown queue policy %q (drop-tail or backpressure)", s)
+	}
+}
+
+// PipelineMode selects whether a session steps its engine through the
+// cross-frame traffic.PipelinedRunner (frame N's egress overlapping
+// frame N+1's ingest, bit-identical to sequential) or sequentially.
+type PipelineMode int
+
+const (
+	// PipelineAuto pipelines when GOMAXPROCS > 1 — the overlap costs a
+	// worker handoff per frame and wins nothing on a single CPU.
+	PipelineAuto PipelineMode = iota
+	// PipelineOn forces pipelined stepping regardless of GOMAXPROCS
+	// (how the bit-identity tests exercise the runner on any host).
+	PipelineOn
+	// PipelineOff forces sequential stepping.
+	PipelineOff
+)
+
+// ParsePipelineMode maps the spec-level pipeline switch to its mode.
+func ParsePipelineMode(s string) (PipelineMode, error) {
+	switch s {
+	case "", "auto":
+		return PipelineAuto, nil
+	case "on":
+		return PipelineOn, nil
+	case "off":
+		return PipelineOff, nil
+	default:
+		return 0, fmt.Errorf("scenario: unknown pipeline mode %q (auto, on or off)", s)
 	}
 }
 
@@ -567,6 +603,9 @@ func (sp Spec) validate(loose bool) error {
 		return fmt.Errorf("scenario: queue depth %d, must be at least 1", t.QueueDepth)
 	}
 	if _, err := ParsePolicy(t.Policy); err != nil {
+		return err
+	}
+	if _, err := ParsePipelineMode(t.Pipeline); err != nil {
 		return err
 	}
 	if _, err := t.Scheduler.Build(); err != nil {

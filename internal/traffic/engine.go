@@ -113,6 +113,56 @@ type sentCell struct {
 	cell modem.SlotAssignment
 }
 
+// ingestPlan is one generation of the ingest-side frame plan: the flat
+// info-bit backing, the granted-cell list sub-slicing it, and the
+// receive-path assignment/meta slices. The engine alternates between
+// two generations by frame parity so a pipelined run's ingest of frame
+// N+1 never rewrites a buffer that frame N's still-running egress could
+// reference (packets decoded from these cells carry fresh bit slices,
+// but the plan metadata itself must survive until the frame's report
+// accounting is done).
+type ingestPlan struct {
+	infoBuf []byte
+	cells   []uplinkCell
+	asgs    []modem.SlotAssignment
+	metas   []payload.RouteMeta
+}
+
+// egressGen is one generation of the egress-side frame state: the
+// downlink transmit grid and the sent-cell list the ground verifier
+// walks. Two generations alternate by frame parity, so the scheduler
+// fill of frame N+1 (control thread, at the handoff) writes its
+// generation while frame N's egress worker still reads the other.
+type egressGen struct {
+	grid [][][]byte
+	sent []sentCell
+}
+
+// framePrep is the per-frame plan handed from beginFrame through
+// ingest, fill and egress: the frame index, the codec in force and the
+// burst's info-bit budget resolved once in the frame prologue, plus the
+// parity-selected scratch generations. A pipelined run ships it to the
+// egress worker, so egress never re-reads engine fields the next
+// frame's prologue may rewrite.
+type framePrep struct {
+	f     int
+	k     int
+	codec fec.Codec
+	t0    time.Time
+	plan  *ingestPlan
+	gen   *egressGen
+}
+
+// egressDelta is the ground-verify outcome of one frame's egress,
+// returned to the caller instead of written to the shared report so a
+// concurrent ingest never races the verify counters; foldVerify merges
+// it — immediately after egress on the sequential path, at the next
+// join or drain on the pipelined one.
+type egressDelta struct {
+	lost    int
+	bitErrs int
+}
+
 // clsAccum collects engine-side per-class delivery statistics; the
 // fabric-side counters (routed, dropped, high water) merge in at
 // snapshot time (perClass).
@@ -161,16 +211,24 @@ type Engine struct {
 	gdemux  *frontend.Demux
 	gdems   sync.Pool // ground-side burst demodulators
 
-	// scratch reused across frames
+	// scratch reused across frames. fc, room and aggBits are single
+	// buffers because every stage that touches them runs on the control
+	// thread (ingest and fill); the per-frame plan and grid state below
+	// is double-buffered so a pipelined run's egress of frame N can keep
+	// reading its generation while frame N+1's ingest writes the other.
 	fc      *modem.FrameComposer
-	grid    [][][]byte
-	sent    []sentCell
-	metas   []payload.RouteMeta
 	room    [][switchfab.NumClasses]int
-	asgs    []modem.SlotAssignment
-	cells   []uplinkCell
-	infoBuf []byte // flat backing for the frame's per-cell info bits
 	aggBits []byte // shared k-bit payload stand-in for aggregate packets
+
+	// plans are the ingest-side frame plans — flat info-bit backing,
+	// granted-cell list over it, receive-path assignment/meta slices —
+	// and gens the egress-side frame state — transmit grid plus the
+	// sent-cell list the ground verifier walks. Frame parity picks the
+	// generation (beginFrame), which is the double-buffer half of the
+	// stage-ownership contract (DESIGN §12): no buffer is rewritten by
+	// ingest while a still-running egress could read it.
+	plans [2]ingestPlan
+	gens  [2]egressGen
 
 	// fill is the frame-scoped state every beam's fill task reads while
 	// the downlink scheduler pops packets into the transmit grid; it is
@@ -180,6 +238,7 @@ type Engine struct {
 		frame  int
 		codec  fec.Codec
 		budget int
+		gen    *egressGen
 	}
 	// beams is the per-beam downlink fill state (slot cursor, sent
 	// cells, per-class delivery deltas, preallocated emit closure): each
@@ -319,7 +378,6 @@ func NewPopulations(pl *payload.Payload, cfg Config, terminals []Terminal, pops 
 		fab:     pl.Switch(),
 		dlsched: cfg.Scheduler,
 		cfg:     cfg,
-		grid:    make([][][]byte, cfg.Frame.Carriers),
 		room:    make([][switchfab.NumClasses]int, cfg.Frame.Carriers),
 		byID:    make(map[string]*termState),
 		beamAgg: make([][]*popBeam, cfg.Frame.Carriers),
@@ -345,8 +403,12 @@ func NewPopulations(pl *payload.Payload, cfg Config, terminals []Terminal, pops 
 		return nil, err
 	}
 	e.resolveSyncConfig()
-	for c := range e.grid {
-		e.grid[c] = make([][]byte, cfg.Frame.Slots)
+	for gi := range e.gens {
+		g := &e.gens[gi]
+		g.grid = make([][][]byte, cfg.Frame.Carriers)
+		for c := range g.grid {
+			g.grid[c] = make([][]byte, cfg.Frame.Slots)
+		}
 	}
 	e.mods.New = func() any {
 		return modem.NewBurstModulator(pl.BurstFormat(), 0.35, 4, 10)
@@ -658,8 +720,33 @@ func (e *Engine) Step() error {
 	return e.step()
 }
 
-// step runs one frame through the loop.
+// step runs one frame through the loop: prologue, the ingest
+// half-frame, the scheduler fill at the fabric handoff, then the egress
+// half-frame with its verify outcome folded immediately. The
+// PipelinedRunner drives exactly the same four stages, overlapping the
+// previous frame's egress with this frame's ingest and fill; the stage
+// boundaries and ownership rules are documented in DESIGN §12.
 func (e *Engine) step() error {
+	pf, ok := e.beginFrame()
+	if !ok {
+		return nil
+	}
+	if err := e.ingest(&pf); err != nil {
+		return err
+	}
+	e.fillFrame(&pf)
+	d, err := e.egress(&pf)
+	e.foldVerify(d)
+	return err
+}
+
+// beginFrame is the frame prologue shared by the sequential and
+// pipelined step paths: it advances the frame clock, checks the payload
+// can carry traffic (a mid-reconfiguration frame counts as an outage
+// and runs no stage), resolves the codec and info-bit budget, and picks
+// the frame's scratch generations by parity. ok=false means the frame
+// is already fully accounted (outage) and no stage must run.
+func (e *Engine) beginFrame() (framePrep, bool) {
 	f := e.frame
 	e.frame++
 	e.met.Frames++
@@ -670,21 +757,36 @@ func (e *Engine) step() error {
 		// Mid-reconfiguration: no coding function on board, so neither
 		// link carries traffic this frame; queued packets wait it out.
 		e.met.OutageFrames++
-		return nil
+		return framePrep{}, false
 	}
 	budget := e.pl.BurstFormat().PayloadBits()
 	k := InfoBitsFor(codec, budget)
 	e.pl.SetBurstCodedBits(codec.EncodedLen(k))
 
-	var t0 time.Time
+	pf := framePrep{f: f, k: k, codec: codec, plan: &e.plans[f&1], gen: &e.gens[f&1]}
 	if e.stages != nil {
-		t0 = time.Now()
+		pf.t0 = time.Now()
 	}
-	cells := e.dama(f, k)
-	if err := e.uplink(f, k, codec, cells, t0); err != nil {
-		return err
-	}
-	return e.downlink(f, codec)
+	return pf, true
+}
+
+// ingest is the frame's first half-stage — DAMA grant, terminal-side
+// burst synthesis, payload receive and fabric routing. It runs on the
+// engine's control thread only: it owns the terminal states, the slot
+// scheduler, the frame composer and the fabric's route side, none of
+// which the concurrent egress of the previous frame touches.
+func (e *Engine) ingest(pf *framePrep) error {
+	cells := e.dama(pf)
+	return e.uplink(pf, cells)
+}
+
+// foldVerify merges a frame's deferred ground-verify outcome into the
+// run report. The sequential step folds right after egress; a pipelined
+// run folds at the join, so mid-run Metrics snapshots may lag the
+// verify counters by the one in-flight frame until the runner drains.
+func (e *Engine) foldVerify(d egressDelta) {
+	e.met.DownlinkLost += d.lost
+	e.met.DownlinkBitErrs += d.bitErrs
 }
 
 // dama releases last frame's burst time plan and grants this frame's:
@@ -693,7 +795,8 @@ func (e *Engine) step() error {
 // the room left in its destination (beam, class) queue — admission
 // control is class-aware, so a best-effort backlog throttles only
 // best-effort sources).
-func (e *Engine) dama(f, k int) []uplinkCell {
+func (e *Engine) dama(pf *framePrep) []uplinkCell {
+	f, k, plan := pf.f, pf.k, pf.plan
 	for _, ts := range e.terms {
 		if ts.active {
 			e.sched.Release(ts.term.ID)
@@ -712,11 +815,11 @@ func (e *Engine) dama(f, k int) []uplinkCell {
 	// the worst case (every slot granted); cells sub-slice it, so a
 	// frame's worth of payload generation costs zero allocations once
 	// the buffer and cell slice reach steady state.
-	if need := e.sched.Capacity() * k; cap(e.infoBuf) < need {
-		e.infoBuf = make([]byte, need)
+	if need := e.sched.Capacity() * k; cap(plan.infoBuf) < need {
+		plan.infoBuf = make([]byte, need)
 	}
-	buf, off := e.infoBuf[:cap(e.infoBuf)], 0
-	cells := e.cells[:0]
+	buf, off := plan.infoBuf[:cap(plan.infoBuf)], 0
+	cells := plan.cells[:0]
 	for _, ts := range e.terms {
 		if !ts.active {
 			continue
@@ -763,7 +866,7 @@ func (e *Engine) dama(f, k int) []uplinkCell {
 			cells = append(cells, uplinkCell{asg: a, term: ts, info: info})
 		}
 	}
-	e.cells = cells
+	plan.cells = cells
 	e.damaAggregates(f, k, room)
 	return cells
 }
@@ -878,14 +981,15 @@ func (e *Engine) routeAggregates(f, k int) {
 // with class, terminal and ingress frame), so there is no second
 // engine-owned queue layer to copy into.
 // When stage timers are attached, the frame's synthesis stage spans
-// from t0 (taken before DAMA) through the modulation fan-out, and the
-// receive stage covers the payload pipeline plus receipt accounting —
-// one observation each per frame, idle frames included, so per-stage
-// sample counts line up with the frame count.
-func (e *Engine) uplink(f, k int, codec fec.Codec, cells []uplinkCell, t0 time.Time) error {
+// from the prologue timestamp (taken before DAMA) through the
+// modulation fan-out, and the receive stage covers the payload pipeline
+// plus receipt accounting — one observation each per frame, idle frames
+// included, so per-stage sample counts line up with the frame count.
+func (e *Engine) uplink(pf *framePrep, cells []uplinkCell) error {
+	f, k, codec := pf.f, pf.k, pf.codec
 	if len(cells) == 0 {
 		if e.stages != nil {
-			e.stages.observe(e.stages.Synthesis, time.Since(t0).Nanoseconds())
+			observeTimer(e.stages.Synthesis, time.Since(pf.t0).Nanoseconds())
 		}
 		var tRecv time.Time
 		if e.stages != nil {
@@ -893,7 +997,7 @@ func (e *Engine) uplink(f, k int, codec fec.Codec, cells []uplinkCell, t0 time.T
 		}
 		e.routeAggregates(f, k)
 		if e.stages != nil {
-			e.stages.observe(e.stages.Receive, time.Since(tRecv).Nanoseconds())
+			observeTimer(e.stages.Receive, time.Since(tRecv).Nanoseconds())
 		}
 		return nil
 	}
@@ -903,10 +1007,10 @@ func (e *Engine) uplink(f, k int, codec fec.Codec, cells []uplinkCell, t0 time.T
 		e.fc.Reset()
 	}
 	fc := e.fc
-	if cap(e.asgs) < len(cells) {
-		e.asgs = make([]modem.SlotAssignment, len(cells))
+	if cap(pf.plan.asgs) < len(cells) {
+		pf.plan.asgs = make([]modem.SlotAssignment, len(cells))
 	}
-	asgs := e.asgs[:len(cells)]
+	asgs := pf.plan.asgs[:len(cells)]
 	noisy := e.cfg.EbN0dB > 0
 	esN0 := 0.0
 	if noisy {
@@ -914,9 +1018,9 @@ func (e *Engine) uplink(f, k int, codec fec.Codec, cells []uplinkCell, t0 time.T
 	}
 	budget := e.pl.BurstFormat().PayloadBits()
 	const uplinkSPS = 4
-	e.metas = e.metas[:0]
+	metas := pf.plan.metas[:0]
 	for _, c := range cells {
-		e.metas = append(e.metas, payload.RouteMeta{
+		metas = append(metas, payload.RouteMeta{
 			Beam:     c.term.term.Beam,
 			Class:    c.term.term.Class,
 			Term:     c.term,
@@ -924,6 +1028,7 @@ func (e *Engine) uplink(f, k int, codec fec.Codec, cells []uplinkCell, t0 time.T
 			InfoBits: k,
 		})
 	}
+	pf.plan.metas = metas
 	pipeline.ForEach(len(cells), func(i int) {
 		c := cells[i]
 		asgs[i] = c.asg
@@ -995,9 +1100,9 @@ func (e *Engine) uplink(f, k int, codec fec.Codec, cells []uplinkCell, t0 time.T
 	var tRecv time.Time
 	if e.stages != nil {
 		tRecv = time.Now()
-		e.stages.observe(e.stages.Synthesis, tRecv.Sub(t0).Nanoseconds())
+		observeTimer(e.stages.Synthesis, tRecv.Sub(pf.t0).Nanoseconds())
 	}
-	receipts := e.pl.ReceiveFrameAndRouteQoS(fc, asgs, e.metas)
+	receipts := e.pl.ReceiveFrameAndRouteQoS(fc, asgs, metas)
 	for i, r := range receipts {
 		e.met.UplinkBursts++
 		// Only receipts whose demodulation actually ran carry sync
@@ -1028,42 +1133,47 @@ func (e *Engine) uplink(f, k int, codec fec.Codec, cells []uplinkCell, t0 time.T
 	// ingress frame, deterministic per-shard order.
 	e.routeAggregates(f, k)
 	if e.stages != nil {
-		e.stages.observe(e.stages.Receive, time.Since(tRecv).Nanoseconds())
+		observeTimer(e.stages.Receive, time.Since(tRecv).Nanoseconds())
 	}
 	return nil
 }
 
-// downlink fills each beam's slot budget from the fabric's class
-// queues through the pluggable scheduler — packets pop straight into
-// the transmit grid, no intermediate drain — transmits the wideband
-// frame and, when configured, verifies it on a ground receiver. The
-// fill runs as one pipeline task per beam over beam-owned state (the
-// beam's fabric shard, grid row, sent slice and beamState
-// accumulators); the per-frame deltas then merge in beam order, so the
-// totals are bit-identical to the old sequential fill while the stage
-// scales with workers like the fabric's routing side already does.
-func (e *Engine) downlink(f int, codec fec.Codec) error {
+// fillFrame is the ownership handoff at the fabric boundary: the
+// downlink scheduler pops queued packets into this frame's transmit
+// grid generation — one pipeline task per beam over beam-owned state
+// (the beam's fabric shard, grid row, sent slice and beamState
+// accumulators) — and the per-frame deltas merge into the run totals in
+// beam order, bit-identical to a sequential fill. It runs on the
+// control thread between ingest and egress dispatch: the fill is the
+// one downlink-side stage that must not overlap the next frame's
+// ingest, because backpressure admission (dama) reads the post-fill
+// queue depths. After fillFrame returns, every report counter of the
+// frame except the deferred ground-verify outcome is final — that is
+// the handoff snapshot a pipelined run's per-frame observers read.
+func (e *Engine) fillFrame(pf *framePrep) {
 	var t time.Time
 	if e.stages != nil {
 		t = time.Now()
 	}
-	e.fill.frame = f
-	e.fill.codec = codec
+	g := pf.gen
+	e.fill.frame = pf.f
+	e.fill.codec = pf.codec
 	e.fill.budget = e.pl.BurstFormat().PayloadBits()
+	e.fill.gen = g
 	pipeline.ForEach(e.cfg.Frame.Carriers, func(b int) {
 		bs := &e.beams[b]
 		bs.slot = 0
 		bs.sent = bs.sent[:0]
 		bs.cls = [switchfab.NumClasses]clsAccum{}
-		for s := range e.grid[b] {
-			e.grid[b][s] = nil
+		for s := range g.grid[b] {
+			g.grid[b][s] = nil
 		}
 		e.fab.Schedule(e.dlsched, b, e.cfg.Frame.Slots, bs.emit)
 	})
-	e.sent = e.sent[:0]
+	g.sent = g.sent[:0]
 	for b := range e.beams {
 		bs := &e.beams[b]
-		e.sent = append(e.sent, bs.sent...)
+		g.sent = append(g.sent, bs.sent...)
 		for c := range bs.cls {
 			a := bs.cls[c]
 			if a == (clsAccum{}) {
@@ -1087,28 +1197,41 @@ func (e *Engine) downlink(f int, codec fec.Codec) error {
 		}
 	}
 	if e.stages != nil {
-		now := time.Now()
-		e.stages.observe(e.stages.Schedule, now.Sub(t).Nanoseconds())
-		t = now
+		observeTimer(e.stages.Schedule, time.Since(t).Nanoseconds())
 	}
+}
 
-	wide, err := e.tx.TransmitFrameGrid(e.cfg.Frame, e.grid)
+// egress is the frame's second half-stage — wideband transmit of the
+// filled grid generation and the optional ground verify. It reads only
+// the framePrep, its egress generation, the transmitter's own buffers
+// and the concurrency-safe demod pools, and writes nothing the control
+// thread shares, so a PipelinedRunner may run it on a worker while the
+// control thread ingests the next frame; the verify outcome comes back
+// as a delta for the caller to fold (foldVerify) rather than racing the
+// shared report.
+func (e *Engine) egress(pf *framePrep) (egressDelta, error) {
+	var t time.Time
+	if e.stages != nil {
+		t = time.Now()
+	}
+	wide, err := e.tx.TransmitFrameGrid(e.cfg.Frame, pf.gen.grid)
 	if err != nil {
-		return fmt.Errorf("traffic: frame %d downlink: %w", f, err)
+		return egressDelta{}, fmt.Errorf("traffic: frame %d downlink: %w", pf.f, err)
 	}
 	if e.stages != nil {
 		now := time.Now()
-		e.stages.observe(e.stages.Transmit, now.Sub(t).Nanoseconds())
+		observeTimer(e.stages.Transmit, now.Sub(t).Nanoseconds())
 		t = now
 	}
+	var d egressDelta
 	if e.cfg.Verify {
-		e.verify(wide, codec)
+		d = e.verify(wide, pf.codec, pf.gen)
 		if e.stages != nil {
-			e.stages.observe(e.stages.Verify, time.Since(t).Nanoseconds())
+			observeTimer(e.stages.Verify, time.Since(t).Nanoseconds())
 		}
 	}
 	dsp.PutVec(wide)
-	return nil
+	return d, nil
 }
 
 // emitPacket is one beam's emit hook (preallocated per beamState at
@@ -1129,7 +1252,7 @@ func (e *Engine) emitPacket(bs *beamState, p switchfab.Packet) bool {
 	lat := e.fill.frame - p.Ingress
 	switch t := p.Term.(type) {
 	case *termState:
-		e.grid[b][s] = p.Bits
+		e.fill.gen.grid[b][s] = p.Bits
 		bs.sent = append(bs.sent, sentCell{pkt: p, cell: modem.SlotAssignment{Carrier: b, Slot: s}})
 		t.stat.DeliveredBits += len(p.Bits)
 	case *popBeam:
@@ -1140,7 +1263,7 @@ func (e *Engine) emitPacket(bs *beamState, p switchfab.Packet) bool {
 			t.latMax = lat
 		}
 	default:
-		e.grid[b][s] = p.Bits
+		e.fill.gen.grid[b][s] = p.Bits
 		bs.sent = append(bs.sent, sentCell{pkt: p, cell: modem.SlotAssignment{Carrier: b, Slot: s}})
 	}
 	bs.slot++
@@ -1157,17 +1280,20 @@ func (e *Engine) emitPacket(bs *beamState, p switchfab.Packet) bool {
 
 // verify demodulates the transmitted wideband block on a ground receiver
 // (DDC bank plus burst demodulators) and compares every delivered packet
-// bit for bit — the loopback contract of the regenerative loop.
-func (e *Engine) verify(wide dsp.Vec, codec fec.Codec) {
+// bit for bit — the loopback contract of the regenerative loop. It runs
+// inside egress (possibly on the pipeline worker), so it touches only
+// the frame's generation and the egress-owned demux/demod pools and
+// returns its counters as a delta instead of writing the shared report.
+func (e *Engine) verify(wide dsp.Vec, codec fec.Codec, g *egressGen) egressDelta {
 	split := e.gdemux.Process(wide)
 	slotLen := e.cfg.Frame.SlotSymbols * e.cfg.Plan.Decim
 	type outcome struct {
 		lost    bool
 		bitErrs int
 	}
-	outs := make([]outcome, len(e.sent))
-	pipeline.ForEach(len(e.sent), func(i int) {
-		sc := e.sent[i]
+	outs := make([]outcome, len(g.sent))
+	pipeline.ForEach(len(g.sent), func(i int) {
+		sc := g.sent[i]
 		base := split[sc.cell.Carrier]
 		start := sc.cell.Slot * slotLen
 		end := start + slotLen + 160 // slack for the DUC/DDC group delays
@@ -1186,16 +1312,18 @@ func (e *Engine) verify(wide dsp.Vec, codec fec.Codec) {
 		dec := codec.Decode(fec.HardLLR(hard)[:codec.EncodedLen(len(bits))])
 		outs[i] = outcome{bitErrs: fec.CountBitErrors(bits, dec[:len(bits)])}
 	})
+	var d egressDelta
 	for _, o := range outs {
 		if o.lost {
-			e.met.DownlinkLost++
+			d.lost++
 		} else {
-			e.met.DownlinkBitErrs += o.bitErrs
+			d.bitErrs += o.bitErrs
 		}
 	}
 	for _, v := range split {
 		dsp.PutVec(v)
 	}
+	return d
 }
 
 // snapshotQueues folds the fabric-side accounting into a report

@@ -1,0 +1,178 @@
+package traffic
+
+import (
+	"errors"
+	"time"
+)
+
+// PipelinedRunner steps an Engine with frame N's egress (wideband
+// transmit + ground verify) overlapping frame N+1's ingest (DAMA, burst
+// synthesis, payload receive, fabric routing) — the software mirror of
+// the paper's per-stage FPGA parallelism, lifted to the frame level.
+//
+// One worker goroutine owns the in-flight egress; the caller's
+// goroutine (the control thread) owns everything else. Step runs the
+// frame prologue, ingest and scheduler fill concurrently with the
+// previous frame's egress, joins that egress, then dispatches this
+// frame's. The fill can overlap the previous egress because the two
+// touch disjoint frame generations (egressGen double-buffering by frame
+// parity); it cannot move past the join into the worker, because the
+// next frame's backpressure admission reads the post-fill queue depths.
+//
+// Determinism is part of the contract, not an option: every fabric and
+// report mutation stays on the control thread in sequential order,
+// egress reads only its parity-selected generation and returns its
+// verify outcome as a delta folded at the join, so a pipelined run is
+// bit-identical to sequential stepping — reports, telemetry counters
+// and ground-verify bits (DESIGN §12 gives the ownership argument).
+// The one visible scheduling artifact: mid-run Metrics snapshots may
+// lag the two verify counters by the single in-flight frame until the
+// runner drains; end-of-run reports are taken after a drain and exact.
+//
+// The runner owns the engine's stepping while in use: advance the
+// engine only through Step, and Drain before mutating it out-of-band
+// (AddTerminal, queue or scheduler reconfiguration, control-plane
+// swaps) or snapshotting state the in-flight egress still owes. The
+// scenario session does both automatically, falling back to sequential
+// stepping for frames that carry scripted events.
+type PipelinedRunner struct {
+	e      *Engine
+	jobs   chan framePrep
+	outs   chan egressOutcome
+	timers *PipelineTimers
+
+	inflight   bool
+	closed     bool
+	err        error // sticky: a failed egress poisons the run
+	dispatched int
+}
+
+// egressOutcome is what the worker hands back at the join: the verify
+// delta to fold, the egress wall time (for the overlap/stall split) and
+// the transmit error, if any.
+type egressOutcome struct {
+	d   egressDelta
+	dur time.Duration
+	err error
+}
+
+// NewPipelinedRunner wraps e in a cross-frame pipeline and starts its
+// egress worker. The caller must Close the runner when done with it —
+// otherwise the parked worker goroutine outlives the run.
+func NewPipelinedRunner(e *Engine) *PipelinedRunner {
+	r := &PipelinedRunner{
+		e:    e,
+		jobs: make(chan framePrep),
+		outs: make(chan egressOutcome),
+	}
+	go r.worker()
+	return r
+}
+
+// Engine returns the wrapped engine. Read-only accessors are safe at
+// any time; Drain first before mutating it or reading a report that
+// must include the in-flight frame's verify counters.
+func (r *PipelinedRunner) Engine() *Engine { return r.e }
+
+// SetTimers attaches (or with nil detaches) the pipeline occupancy
+// timers. Attach between frames, before the next Step.
+func (r *PipelinedRunner) SetTimers(t *PipelineTimers) { r.timers = t }
+
+// PipelinedFrames returns how many frames' egress was dispatched to the
+// worker so far (outage frames and post-Close sequential steps are not).
+func (r *PipelinedRunner) PipelinedFrames() int { return r.dispatched }
+
+func (r *PipelinedRunner) worker() {
+	for pf := range r.jobs {
+		start := time.Now()
+		d, err := r.e.egress(&pf)
+		r.outs <- egressOutcome{d: d, dur: time.Since(start), err: err}
+	}
+}
+
+// Step advances the closed loop by one frame, overlapping this frame's
+// control-thread half (prologue, ingest, fill) with the previous
+// frame's in-flight egress. After Close, Step degrades to plain
+// sequential engine stepping; after an error, the error is sticky.
+func (r *PipelinedRunner) Step() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.closed {
+		return r.e.Step()
+	}
+	start := time.Now()
+	pf, ok := r.e.beginFrame()
+	if !ok {
+		// Outage frame: no stage runs and there is nothing to dispatch;
+		// a previous frame's egress, if any, stays in flight.
+		r.e.wall += time.Since(start)
+		return nil
+	}
+	if err := r.e.ingest(&pf); err != nil {
+		r.err = errors.Join(err, r.join())
+		return r.err
+	}
+	r.e.fillFrame(&pf)
+	if err := r.join(); err != nil {
+		r.err = err
+		return err
+	}
+	r.jobs <- pf
+	r.inflight = true
+	r.dispatched++
+	r.e.wall += time.Since(start)
+	return nil
+}
+
+// join blocks until the in-flight egress (if any) finishes, folds its
+// deferred verify counters into the report, and records the occupancy
+// timers: stall is the time spent blocked here, overlap is the rest of
+// the egress duration — the part that ran under this frame's
+// control-thread work.
+func (r *PipelinedRunner) join() error {
+	if !r.inflight {
+		return nil
+	}
+	start := time.Now()
+	out := <-r.outs
+	r.inflight = false
+	stall := time.Since(start)
+	r.e.foldVerify(out.d)
+	r.e.wall += stall
+	if r.timers != nil {
+		observeTimer(r.timers.Stall, stall.Nanoseconds())
+		overlap := out.dur - stall
+		if overlap < 0 {
+			overlap = 0
+		}
+		observeTimer(r.timers.Overlap, overlap.Nanoseconds())
+	}
+	return out.err
+}
+
+// Drain joins any in-flight egress and leaves the runner idle but
+// usable: the engine is then fully caught up (verify counters included)
+// and safe to mutate or snapshot; stepping may resume afterwards.
+func (r *PipelinedRunner) Drain() error {
+	if r.err != nil {
+		return r.err
+	}
+	if err := r.join(); err != nil {
+		r.err = err
+		return err
+	}
+	return nil
+}
+
+// Close drains the pipeline and stops the worker goroutine. Close is
+// idempotent, and the runner stays usable afterwards — Step simply
+// falls back to sequential engine stepping.
+func (r *PipelinedRunner) Close() error {
+	err := r.Drain()
+	if !r.closed {
+		r.closed = true
+		close(r.jobs)
+	}
+	return err
+}

@@ -1,0 +1,221 @@
+package traffic
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/internal/payload"
+	"repro/internal/telemetry"
+)
+
+// pipeTestSetup builds the engine shape the pipelined-runner tests
+// share: backpressure admission (the scheduler-fill ordering dependency
+// the handoff must preserve), ground verification (the deferred-delta
+// fold path), uplink noise and one impaired channel (real demod work on
+// both half-frames).
+func pipeTestSetup(t *testing.T) *Engine {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Frame = smallFrame(2, 3)
+	cfg.Seed = 23
+	cfg.QueueDepth = 4
+	cfg.Policy = Backpressure
+	cfg.Verify = true
+	cfg.EbN0dB = 9
+	return newEngine(t, cfg, []Terminal{
+		{ID: "t0", Beam: 0, Model: CBR{Cells: 2}},
+		{ID: "t1", Beam: 0, Model: OnOff{On: 2, Off: 1, Cells: 2}},
+		{ID: "t2", Beam: 1, Model: CBR{Cells: 1}, Channel: &ChannelProfile{CFO: 0.02}},
+	}, "conv-r1/2-k9")
+}
+
+// reportJSON canonicalizes a report for bit-identity comparison; wall
+// time is the one legitimately nondeterministic field.
+func reportJSON(t *testing.T, r *Report) string {
+	t.Helper()
+	r.WallSeconds = 0
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// The runner's contract in one test: stepping through the pipeline —
+// including a mid-run drain-and-resume — produces bit-for-bit the
+// report of plain sequential stepping, ground-verify counters included.
+func TestPipelinedRunnerBitIdenticalToSequential(t *testing.T) {
+	const frames = 12
+	seq := pipeTestSetup(t)
+	if err := seq.RunFrames(frames); err != nil {
+		t.Fatal(err)
+	}
+
+	pip := pipeTestSetup(t)
+	r := NewPipelinedRunner(pip)
+	defer r.Close()
+	for f := 0; f < frames; f++ {
+		if err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if f == frames/2 {
+			// A mid-run drain (what the session does before events)
+			// must not disturb the run.
+			if err := r.Drain(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := r.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.PipelinedFrames(); got != frames {
+		t.Fatalf("dispatched %d frames, want %d", got, frames)
+	}
+
+	want := reportJSON(t, seq.Report())
+	got := reportJSON(t, pip.Report())
+	if got != want {
+		t.Fatalf("pipelined report diverged from sequential\nseq: %s\npip: %s", want, got)
+	}
+}
+
+// Verify counters are deferred one frame: after Step(N) the in-flight
+// frame's downlink outcome is not yet folded, and Drain catches the
+// report up exactly.
+func TestPipelinedRunnerDrainFoldsVerify(t *testing.T) {
+	seq := pipeTestSetup(t)
+	pip := pipeTestSetup(t)
+	r := NewPipelinedRunner(pip)
+	defer r.Close()
+	for f := 0; f < 6; f++ {
+		if err := seq.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	sm, pm := seq.Metrics(), pip.Metrics()
+	if sm.DownlinkLost != pm.DownlinkLost || sm.DownlinkBitErrs != pm.DownlinkBitErrs {
+		t.Fatalf("verify counters after drain: seq lost/errs %d/%d, pipelined %d/%d",
+			sm.DownlinkLost, sm.DownlinkBitErrs, pm.DownlinkLost, pm.DownlinkBitErrs)
+	}
+}
+
+// An outage window mid-run (coding device powered off) passes through
+// the runner without dispatching egress work, and the run stays
+// bit-identical to the sequential engine under the same fault. The
+// chipset mutation happens at a drained boundary — the documented
+// out-of-band mutation rule.
+func TestPipelinedRunnerOutageFrames(t *testing.T) {
+	outage := func(e *Engine, step func() error, drain func() error) *Report {
+		t.Helper()
+		var dev string
+		for _, d := range e.pl.Chipset().DevicesFor(payload.FuncCoding) {
+			dev = d
+		}
+		d, _ := e.pl.Chipset().Device(dev)
+		run := func(n int) {
+			for i := 0; i < n; i++ {
+				if err := step(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		run(3)
+		if err := drain(); err != nil {
+			t.Fatal(err)
+		}
+		d.PowerOff()
+		run(2)
+		if err := drain(); err != nil {
+			t.Fatal(err)
+		}
+		d.PowerOn()
+		run(3)
+		if err := drain(); err != nil {
+			t.Fatal(err)
+		}
+		return e.Report()
+	}
+
+	seq := pipeTestSetup(t)
+	noop := func() error { return nil }
+	seqRep := outage(seq, seq.Step, noop)
+
+	pip := pipeTestSetup(t)
+	r := NewPipelinedRunner(pip)
+	defer r.Close()
+	pipRep := outage(pip, r.Step, r.Drain)
+
+	if pipRep.OutageFrames != 2 {
+		t.Fatalf("outage frames %d, want 2", pipRep.OutageFrames)
+	}
+	if want, got := reportJSON(t, seqRep), reportJSON(t, pipRep); got != want {
+		t.Fatalf("outage run diverged\nseq: %s\npip: %s", want, got)
+	}
+}
+
+// Close is idempotent and degrades the runner to sequential stepping
+// rather than bricking it.
+func TestPipelinedRunnerCloseFallsBack(t *testing.T) {
+	e := pipeTestSetup(t)
+	r := NewPipelinedRunner(e)
+	for i := 0; i < 3; i++ {
+		if err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	dispatched := r.PipelinedFrames()
+	for i := 0; i < 2; i++ {
+		if err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if e.Frame() != 5 {
+		t.Fatalf("frame clock %d after post-Close steps, want 5", e.Frame())
+	}
+	if r.PipelinedFrames() != dispatched {
+		t.Fatal("post-Close steps were dispatched to the dead worker")
+	}
+}
+
+// The occupancy timers record one (stall, overlap) pair per joined
+// frame, and overlap+stall reconstructs the egress wall time (overlap
+// is clamped non-negative, so the sum is bounded by it).
+func TestPipelinedRunnerTimers(t *testing.T) {
+	e := pipeTestSetup(t)
+	r := NewPipelinedRunner(e)
+	defer r.Close()
+	reg := telemetry.NewRegistry()
+	pt := NewPipelineTimers(reg)
+	r.SetTimers(pt)
+	const frames = 5
+	for i := 0; i < frames; i++ {
+		if err := r.Step(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := r.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if got := pt.Stall.Count(); got != frames {
+		t.Fatalf("stall observations %d, want %d", got, frames)
+	}
+	if got := pt.Overlap.Count(); got != frames {
+		t.Fatalf("overlap observations %d, want %d", got, frames)
+	}
+	if pt.Overlap.Name() != "engine.pipeline.overlap_ns" || pt.Stall.Name() != "engine.pipeline.stall_ns" {
+		t.Fatalf("timer keys %q / %q", pt.Overlap.Name(), pt.Stall.Name())
+	}
+}

@@ -45,10 +45,39 @@ func (e *Engine) SetStageTimers(st *StageTimers) { e.stages = st }
 // StageTimers returns the attached per-stage timers (nil when untimed).
 func (e *Engine) StageTimers() *StageTimers { return e.stages }
 
-// observe records v into t when both the stage set and the timer are
-// present.
-func (t *StageTimers) observe(tm *telemetry.Timer, ns int64) {
+// observeTimer records ns into tm when the timer is present — the
+// nil-tolerant record helper shared by the engine's stage and pipeline
+// instrumentation. (A StageTimers set may carry nil entries for stages
+// a caller does not watch; previously this was a StageTimers method
+// that never used its receiver.)
+func observeTimer(tm *telemetry.Timer, ns int64) {
 	if tm != nil {
 		tm.Observe(float64(ns))
+	}
+}
+
+// PipelineTimers carries the cross-frame pipeline occupancy timers a
+// PipelinedRunner records once per joined frame (in nanoseconds):
+//
+//	Overlap — the part of a frame's egress that ran concurrently with
+//	          the next frame's ingest+fill (hidden latency)
+//	Stall   — the time the control thread blocked at the join waiting
+//	          for the in-flight egress to finish (exposed latency)
+//
+// A frame whose egress finishes before the next frame's control-thread
+// work does records stall ≈ 0 and overlap ≈ the whole egress; a frame
+// that leaves the control thread waiting records the remainder as
+// stall. Either timer may be nil and is skipped.
+type PipelineTimers struct {
+	Overlap *telemetry.Timer
+	Stall   *telemetry.Timer
+}
+
+// NewPipelineTimers registers the pipeline occupancy timer pair on reg
+// under the engine.pipeline.* keys.
+func NewPipelineTimers(reg *telemetry.Registry) *PipelineTimers {
+	return &PipelineTimers{
+		Overlap: reg.Timer("engine.pipeline.overlap_ns"),
+		Stall:   reg.Timer("engine.pipeline.stall_ns"),
 	}
 }
